@@ -1,0 +1,1 @@
+bench/experiments.ml: Core Engine Exchange Exl List Mappings Matrix Printf Registry Relational Stdlib Sys Unix Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Core Engine Experiments Float Hashtbl Instance List Measure Option Printf Staged String Sys Test Time Toolkit Workload

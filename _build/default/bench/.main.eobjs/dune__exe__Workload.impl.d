@@ -1,0 +1,1 @@
+bench/workload.ml: Buffer Calendar Cube Domain Float List Matrix Printf Registry Schema Tuple Value

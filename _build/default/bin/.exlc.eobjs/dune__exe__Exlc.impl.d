@@ -1,0 +1,1 @@
+bin/exlc.ml: Arg Cmd Cmdliner Core Engine Exl Filename Fun List Option Printf Result String Sys Term

@@ -1,0 +1,1 @@
+bin/exlrun.ml: Arg Cmd Cmdliner Core Csv Cube Exl Filename Fun List Matrix Printf Registry Schema String Sys Term

@@ -1,0 +1,155 @@
+(* exlc: the EXL compiler driver.
+
+   Compiles an EXL program and emits a chosen artifact: the schema
+   mapping in logic notation, SQL (plain or fused), DDL, R, Matlab, the
+   Kettle XML catalog, the dependency graph, or the normalized program.
+
+   Examples:
+     exlc program.exl --emit tgds
+     exlc program.exl --emit sql-fused
+     exlc program.exl --emit kettle > job.xml *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type emit =
+  | Tgds
+  | Sql
+  | Sql_fused
+  | Ddl
+  | R
+  | Matlab
+  | Kettle
+  | Dot
+  | Normalized
+  | Check
+
+let emit_conv =
+  Arg.enum
+    [
+      ("tgds", Tgds);
+      ("sql", Sql);
+      ("sql-fused", Sql_fused);
+      ("ddl", Ddl);
+      ("r", R);
+      ("matlab", Matlab);
+      ("kettle", Kettle);
+      ("dot", Dot);
+      ("normalized", Normalized);
+      ("check", Check);
+    ]
+
+let dot_of_program source =
+  let d = Engine.Determination.create () in
+  match Engine.Determination.register_source d ~name:"main" source with
+  | Ok () -> Ok (Engine.Determination.dot d)
+  | Error msg -> Error msg
+
+(* --out DIR: write every artifact at once (what EXLEngine would stage
+   for the target systems). *)
+let write_bundle dir program source =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Printf.printf "wrote %s\n" path
+  in
+  let artifacts =
+    [
+      ("mapping.tgds", Core.tgds_of program);
+      ("schema.sql", Core.ddl_of program);
+      ("program.sql", Core.sql_of ~fused:true program);
+      ("program.r", Core.r_of program);
+      ("program.m", Core.matlab_of program);
+      ("job.kettle.xml", Core.kettle_of program);
+      ("graph.dot", dot_of_program source);
+    ]
+  in
+  let rec loop = function
+    | [] -> 0
+    | (name, Ok content) :: rest ->
+        write name content;
+        loop rest
+    | (name, Error msg) :: _ ->
+        prerr_endline ("error generating " ^ name ^ ": " ^ msg);
+        1
+  in
+  loop artifacts
+
+let run file emit out_dir =
+  let source = read_file file in
+  match Exl.Program.load source with
+  | Error e ->
+      prerr_endline
+        ("error: " ^ Exl.Errors.to_string_with_source ~source e);
+      1
+  | Ok program when out_dir <> None -> write_bundle (Option.get out_dir) program source
+  | Ok program -> (
+      let output =
+        match emit with
+        | Check ->
+            let warnings = Exl.Typecheck.warnings program in
+            Ok
+              ("program is well-typed\n"
+              ^ String.concat ""
+                  (List.map (fun w -> "warning: " ^ w ^ "\n") warnings))
+        | Tgds -> Core.tgds_of program
+        | Sql -> Core.sql_of ~fused:false program
+        | Sql_fused -> Core.sql_of ~fused:true program
+        | Ddl -> Core.ddl_of program
+        | R -> Core.r_of program
+        | Matlab -> Core.matlab_of program
+        | Kettle -> Core.kettle_of program
+        | Dot -> dot_of_program source
+        | Normalized ->
+            Result.map
+              (fun (c : Exl.Typecheck.checked) ->
+                Exl.Pretty.program_to_string c.Exl.Typecheck.program)
+              (Result.map_error Exl.Errors.to_string
+                 (Exl.Normalize.checked program))
+      in
+      match output with
+      | Ok text ->
+          print_string text;
+          0
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          1)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt emit_conv Tgds
+    & info [ "e"; "emit" ] ~docv:"KIND"
+        ~doc:
+          "What to emit: $(b,tgds) (schema mapping, default), $(b,sql), \
+           $(b,sql-fused), $(b,ddl), $(b,r), $(b,matlab), $(b,kettle), \
+           $(b,dot), $(b,normalized) or $(b,check).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"DIR"
+        ~doc:
+          "Write every artifact (tgds, DDL, SQL, R, Matlab, Kettle XML, dot) \
+           into $(docv).")
+
+let cmd =
+  let doc = "compile EXL statistical programs into executable schema mappings" in
+  Cmd.v
+    (Cmd.info "exlc" ~version:"1.0" ~doc)
+    Term.(const run $ file_arg $ emit_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

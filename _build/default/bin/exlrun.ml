@@ -1,0 +1,131 @@
+(* exlrun: execute an EXL program against CSV data.
+
+   Elementary cubes are read from <data-dir>/<CUBE>.csv (header row:
+   dimension names then the measure name); derived cubes are written to
+   <out-dir>/<CUBE>.csv.
+
+   Examples:
+     exlrun program.exl --data ./data --out ./results
+     exlrun program.exl --data ./data --backend etl --verify *)
+
+open Cmdliner
+open Matrix
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let backend_conv =
+  Arg.enum
+    [
+      ("reference", Core.Reference);
+      ("chase", Core.Chase);
+      ("sql", Core.Sql);
+      ("vector", Core.Vector_engine);
+      ("etl", Core.Etl_engine);
+    ]
+
+let load_data data_dir (program : Core.program) =
+  let registry = Registry.create () in
+  let errors = ref [] in
+  List.iter
+    (fun schema ->
+      let path = Filename.concat data_dir (schema.Schema.name ^ ".csv") in
+      if Sys.file_exists path then
+        match Csv.cube_of_string schema (read_file path) with
+        | Ok cube -> Registry.add registry Registry.Elementary cube
+        | Error msg -> errors := Printf.sprintf "%s: %s" path msg :: !errors
+      else
+        Printf.eprintf "warning: no data for elementary cube %s (%s missing)\n"
+          schema.Schema.name path)
+    (Exl.Typecheck.elementary_schemas program);
+  if !errors = [] then Ok registry
+  else Error (String.concat "\n" (List.rev !errors))
+
+let write_results out_dir (program : Core.program) result =
+  (try Sys.mkdir out_dir 0o755 with _ -> ());
+  List.iter
+    (fun schema ->
+      let name = schema.Schema.name in
+      if not (Exl.Normalize.is_temp name) then
+        match Registry.find result name with
+        | Some cube ->
+            let path = Filename.concat out_dir (name ^ ".csv") in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> Csv.cube_to_channel oc cube);
+            Printf.printf "wrote %s (%d tuples)\n" path (Cube.cardinality cube)
+        | None -> ())
+    (Exl.Typecheck.derived_schemas program)
+
+let run file data_dir out_dir backend verify =
+  let source = read_file file in
+  match Exl.Program.load source with
+  | Error e ->
+      prerr_endline
+        ("error: " ^ Exl.Errors.to_string_with_source ~source e);
+      1
+  | Ok program -> (
+      match load_data data_dir program with
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          1
+      | Ok registry -> (
+          let verified =
+            if verify then Core.verify_all_backends program registry
+            else Ok ()
+          in
+          match verified with
+          | Error msg ->
+              prerr_endline ("verification failed:\n" ^ msg);
+              1
+          | Ok () -> (
+              if verify then
+                print_endline "verification: all back ends agree";
+              match Core.run ~backend program registry with
+              | Error msg ->
+                  prerr_endline ("error: " ^ msg);
+                  1
+              | Ok result ->
+                  write_results out_dir program result;
+                  0)))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "d"; "data" ] ~docv:"DIR" ~doc:"Directory with <CUBE>.csv input files.")
+
+let out_arg =
+  Arg.(
+    value & opt string "results"
+    & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory (default: results).")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Core.Reference
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution back end: $(b,reference) (default), $(b,chase), $(b,sql), \
+           $(b,vector) or $(b,etl).")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Run all back ends and check they produce identical cubes first.")
+
+let cmd =
+  let doc = "run EXL statistical programs against CSV data" in
+  Cmd.v
+    (Cmd.info "exlrun" ~version:"1.0" ~doc)
+    Term.(const run $ file_arg $ data_arg $ out_arg $ backend_arg $ verify_arg)
+
+let () = exit (Cmd.eval' cmd)

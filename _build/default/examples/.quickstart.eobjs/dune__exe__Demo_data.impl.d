@@ -1,0 +1,1 @@
+examples/demo_data.ml: Calendar Cube Domain Float List Matrix Option Printf Random Registry Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/monetary_aggregates.ml: Core Demo_data Matrix

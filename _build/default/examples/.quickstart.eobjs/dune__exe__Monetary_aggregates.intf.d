@@ -1,0 +1,1 @@
+examples/monetary_aggregates.mli:

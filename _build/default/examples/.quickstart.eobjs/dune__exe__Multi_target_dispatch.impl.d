@@ -1,0 +1,1 @@
+examples/multi_target_dispatch.ml: Calendar Cube Demo_data Engine Float List Matrix Option Printf String Tuple Value

@@ -1,0 +1,1 @@
+examples/sdmx_dissemination.ml: Core Csv Cube Demo_data Float List Matrix Option Printf Registry Sdmx String Tuple Value

@@ -1,0 +1,1 @@
+examples/sdmx_dissemination.mli:

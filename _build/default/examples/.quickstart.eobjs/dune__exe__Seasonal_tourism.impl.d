@@ -1,0 +1,1 @@
+examples/seasonal_tourism.ml: Core Demo_data Float List Matrix Option Printf Sys

@@ -1,0 +1,1 @@
+examples/seasonal_tourism.mli:

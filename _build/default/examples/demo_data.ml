@@ -1,0 +1,185 @@
+(* Synthetic elementary data shared by the examples.
+
+   The paper's production data (Bank of Italy population and GDP cubes)
+   is not available; these generators produce cubes with the same
+   shapes: daily population levels, quarterly per-capita aggregates,
+   monthly seasonal flows.  Deterministic (fixed seed) so example output
+   is reproducible. *)
+open Matrix
+
+let seed = 0x5EED
+let rng () = Random.State.make [| seed |]
+
+let date y m d = Calendar.Date.make ~year:y ~month:m ~day:d
+let quarter y q = Value.Period (Calendar.Period.quarter y q)
+let month y m = Value.Period (Calendar.Period.month y m)
+
+(* --- the paper's overview cubes --- *)
+
+let regions = [ "north"; "centre"; "south" ]
+
+(* PDR(d, r): population of region r at the end of day d. *)
+let pdr ~years () =
+  let schema =
+    Schema.make ~name:"PDR" ~dims:[ ("d", Domain.Date); ("r", Domain.String) ] ()
+  in
+  let cube = Cube.create schema in
+  List.iteri
+    (fun ri region ->
+      let base = 8_000_000. +. (2_000_000. *. float_of_int ri) in
+      for year = 2018 to 2018 + years - 1 do
+        let days = if Calendar.Date.is_leap_year year then 366 else 365 in
+        for doy = 0 to days - 1 do
+          let d = Calendar.Date.add_days (date year 1 1) doy in
+          let t = float_of_int (((year - 2018) * 365) + doy) in
+          (* slow growth plus a mild seasonal ripple (tourism, ...) *)
+          let population =
+            base +. (55. *. t)
+            +. (40_000. *. sin (2. *. Float.pi *. float_of_int doy /. 365.))
+          in
+          Cube.set cube
+            (Tuple.of_list [ Value.Date d; Value.String region ])
+            (Value.Float population)
+        done
+      done)
+    regions;
+  cube
+
+(* RGDPPC(q, r): regional GDP per capita by quarter. *)
+let rgdppc ~years () =
+  let schema =
+    Schema.make ~name:"RGDPPC"
+      ~dims:[ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+      ()
+  in
+  let cube = Cube.create schema in
+  List.iteri
+    (fun ri region ->
+      for year = 2018 to 2018 + years - 1 do
+        for q = 1 to 4 do
+          let t = float_of_int (((year - 2018) * 4) + q - 1) in
+          let seasonal = 0.6 *. sin (Float.pi /. 2. *. float_of_int (q - 1)) in
+          let level = 7.2 +. (0.4 *. float_of_int ri) in
+          Cube.set cube
+            (Tuple.of_list [ quarter year q; Value.String region ])
+            (Value.Float (level +. (0.045 *. t) +. seasonal))
+        done
+      done)
+    regions;
+  cube
+
+let overview_registry ?(years = 4) () =
+  let reg = Registry.create () in
+  Registry.add reg Registry.Elementary (pdr ~years ());
+  Registry.add reg Registry.Elementary (rgdppc ~years ());
+  reg
+
+(* --- banking data for the monetary aggregates example --- *)
+
+let sectors = [ "households"; "firms" ]
+let instruments = [ "overnight"; "savings"; "time" ]
+
+(* DEPOSITS(m, sector, instrument): outstanding amounts by month. *)
+let deposits ~years () =
+  let st = rng () in
+  let schema =
+    Schema.make ~name:"DEPOSITS"
+      ~dims:
+        [
+          ("m", Domain.Period (Some Calendar.Month));
+          ("sector", Domain.String);
+          ("instrument", Domain.String);
+        ]
+      ()
+  in
+  let cube = Cube.create schema in
+  List.iteri
+    (fun si sector ->
+      List.iteri
+        (fun ii instrument ->
+          let base = 120. +. (40. *. float_of_int si) +. (25. *. float_of_int ii) in
+          for year = 2020 to 2020 + years - 1 do
+            for m = 1 to 12 do
+              let t = float_of_int (((year - 2020) * 12) + m - 1) in
+              let noise = Random.State.float st 4. -. 2. in
+              Cube.set cube
+                (Tuple.of_list
+                   [ month year m; Value.String sector; Value.String instrument ])
+                (Value.Float (base +. (0.8 *. t) +. noise))
+            done
+          done)
+        instruments)
+    sectors;
+  cube
+
+(* CURRENCY(m): currency in circulation by month. *)
+let currency ~years () =
+  let schema =
+    Schema.make ~name:"CURRENCY"
+      ~dims:[ ("m", Domain.Period (Some Calendar.Month)) ]
+      ()
+  in
+  let cube = Cube.create schema in
+  for year = 2020 to 2020 + years - 1 do
+    for m = 1 to 12 do
+      let t = float_of_int (((year - 2020) * 12) + m - 1) in
+      Cube.set cube
+        (Tuple.of_list [ month year m ])
+        (Value.Float (95. +. (0.3 *. t)))
+    done
+  done;
+  cube
+
+(* --- tourism data for the seasonal decomposition example --- *)
+
+(* ARRIVALS(m, r): monthly tourist arrivals with strong summer
+   seasonality. *)
+let arrivals ~years () =
+  let st = rng () in
+  let schema =
+    Schema.make ~name:"ARRIVALS"
+      ~dims:[ ("m", Domain.Period (Some Calendar.Month)); ("r", Domain.String) ]
+      ()
+  in
+  let cube = Cube.create schema in
+  List.iteri
+    (fun ri region ->
+      let base = 400. +. (150. *. float_of_int ri) in
+      for year = 2019 to 2019 + years - 1 do
+        for m = 1 to 12 do
+          let t = float_of_int (((year - 2019) * 12) + m - 1) in
+          (* peak in August (m = 8), trough in winter *)
+          let season =
+            250. *. exp (-.((float_of_int m -. 8.) ** 2.) /. 8.)
+          in
+          let noise = Random.State.float st 20. -. 10. in
+          Cube.set cube
+            (Tuple.of_list [ month year m; Value.String region ])
+            (Value.Float (base +. (2.5 *. t) +. season +. noise))
+        done
+      done)
+    regions;
+  cube
+
+(* --- small printing helpers --- *)
+
+let print_cube_head ?(limit = 8) cube =
+  let alist = Cube.to_alist cube in
+  let total = List.length alist in
+  List.iteri
+    (fun i (k, v) ->
+      if i < limit then
+        Printf.printf "  %-28s %12s\n" (Tuple.to_string k) (Value.to_string v))
+    alist;
+  if total > limit then Printf.printf "  ... (%d tuples total)\n" total
+
+let print_series cube =
+  List.iter
+    (fun (k, v) ->
+      Printf.printf "  %-10s %12.3f\n"
+        (Value.to_string (Tuple.get k 0))
+        (Option.value ~default:Float.nan (Value.to_float v)))
+    (Cube.to_alist cube)
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title

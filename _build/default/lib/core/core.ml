@@ -1,0 +1,84 @@
+type program = Exl.Typecheck.checked
+
+let err e = Exl.Errors.to_string e
+
+let compile source = Result.map_error err (Exl.Program.load source)
+let compile_exn source = Exl.Program.load_exn source
+
+let mapping_of program =
+  match Mappings.Generate.of_checked program with
+  | Ok g -> Ok g.Mappings.Generate.mapping
+  | Error e -> Error (err e)
+
+let fused_mapping_of program =
+  Result.map Mappings.Fuse.mapping (mapping_of program)
+
+type backend = Reference | Chase | Sql | Vector_engine | Etl_engine
+
+let backend_name = function
+  | Reference -> "reference"
+  | Chase -> "chase"
+  | Sql -> "sql"
+  | Vector_engine -> "vector"
+  | Etl_engine -> "etl"
+
+let all_backends = [ Reference; Chase; Sql; Vector_engine; Etl_engine ]
+
+let run ?(backend = Reference) program registry =
+  match backend with
+  | Reference -> Result.map_error err (Exl.Interp.run program registry)
+  | Chase ->
+      Result.map_error err
+        (Result.map fst (Exchange.Verify.run_program_via_chase program registry))
+  | Sql -> Result.map_error err (Relational.Sql_target.run_program program registry)
+  | Vector_engine ->
+      Result.map_error err (Vector.Vector_target.run_program program registry)
+  | Etl_engine ->
+      Result.map_error err (Etl.Etl_target.run_program program registry)
+
+let verify_all_backends ?(eps = 1e-7) program registry =
+  match run ~backend:Reference program registry with
+  | Error msg -> Error ("reference failed: " ^ msg)
+  | Ok reference ->
+      let check_backend backend =
+        match run ~backend program registry with
+        | Error msg -> Some (Printf.sprintf "%s failed: %s" (backend_name backend) msg)
+        | Ok got ->
+            let problems =
+              List.filter_map
+                (fun name ->
+                  let expected = Matrix.Registry.find_exn reference name in
+                  match Matrix.Registry.find got name with
+                  | None -> Some (Printf.sprintf "%s: missing cube %s" (backend_name backend) name)
+                  | Some c ->
+                      if Matrix.Cube.equal_data ~eps expected c then None
+                      else
+                        Some
+                          (Printf.sprintf "%s: cube %s differs: %s"
+                             (backend_name backend) name
+                             (String.concat "; "
+                                (Matrix.Cube.diff_data ~eps expected c))))
+                (Matrix.Registry.names reference)
+            in
+            if problems = [] then None else Some (String.concat "\n" problems)
+      in
+      let failures =
+        List.filter_map check_backend [ Chase; Sql; Vector_engine; Etl_engine ]
+      in
+      if failures = [] then Ok () else Error (String.concat "\n" failures)
+
+let sql_of ?fused program =
+  Result.map_error err (Relational.Sql_target.script_of_program ?fused program)
+
+let ddl_of program = Result.map Relational.Sql_gen.ddl_of_mapping (mapping_of program)
+
+let r_of program =
+  Result.map_error err (Vector.Vector_target.r_script_of_program program)
+
+let matlab_of program =
+  Result.map_error err (Vector.Vector_target.matlab_script_of_program program)
+
+let kettle_of program =
+  Result.map_error err (Etl.Etl_target.kettle_catalog_of_program program)
+
+let tgds_of program = Result.map Mappings.Mapping.to_string (mapping_of program)

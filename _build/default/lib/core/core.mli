@@ -1,0 +1,64 @@
+(** EXLEngine — executable schema mappings for statistical data
+    processing.
+
+    One-stop public API over the full pipeline of the paper:
+
+    {v
+    EXL program ──► schema mapping (tgds + egds) ──► SQL | R | Matlab | ETL
+        │                     │
+        │                     └─► stratified chase (correctness witness)
+        └─► reference interpreter
+    v}
+
+    Layered libraries (usable directly for finer control):
+    {!Matrix} (cubes), [Stats], [Ops], [Exl] (language), [Mappings],
+    [Exchange] (chase), [Relational], [Vector], [Etl], [Engine]
+    (determination/dispatch/historicity). *)
+
+type program = Exl.Typecheck.checked
+(** A parsed and type-checked EXL program. *)
+
+val compile : string -> (program, string) result
+(** Parse and type-check EXL source. *)
+
+val compile_exn : string -> program
+
+val mapping_of : program -> (Mappings.Mapping.t, string) result
+(** The generated schema mapping (one extended tgd per normalized
+    statement, plus functionality egds). *)
+
+val fused_mapping_of : program -> (Mappings.Mapping.t, string) result
+(** Mapping with normalizer temporaries inlined (the paper's complex
+    tgd (5) form). *)
+
+(** Execution back ends. [Reference] is the direct interpreter; the
+    others run generated code on the corresponding substrate; [Chase]
+    solves the data-exchange problem. All produce identical cubes
+    (property-tested). *)
+type backend = Reference | Chase | Sql | Vector_engine | Etl_engine
+
+val backend_name : backend -> string
+val all_backends : backend list
+
+val run :
+  ?backend:backend ->
+  program ->
+  Matrix.Registry.t ->
+  (Matrix.Registry.t, string) result
+(** Run the program against elementary data (default backend:
+    [Reference]). *)
+
+val verify_all_backends :
+  ?eps:float -> program -> Matrix.Registry.t -> (unit, string) result
+(** The paper's Section 4.2 equivalence, extended to every back end:
+    all five produce the same cubes, else a diff report. *)
+
+(** Deployable artifacts per target system. *)
+
+val sql_of : ?fused:bool -> program -> (string, string) result
+val ddl_of : program -> (string, string) result
+val r_of : program -> (string, string) result
+val matlab_of : program -> (string, string) result
+val kettle_of : program -> (string, string) result
+val tgds_of : program -> (string, string) result
+(** The mapping in logic notation (the paper's tgd listing). *)

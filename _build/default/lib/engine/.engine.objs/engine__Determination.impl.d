@@ -1,0 +1,1 @@
+lib/engine/determination.ml: Array Buffer Domain Exl Hashtbl List Matrix Option Printf Registry Schema String

@@ -1,0 +1,1 @@
+lib/engine/determination.mli: Exl Matrix Registry Schema

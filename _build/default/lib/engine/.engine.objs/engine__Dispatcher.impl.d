@@ -1,0 +1,1 @@
+lib/engine/dispatcher.ml: Cube Determination List Mappings Matrix Printf Registry Result Stdlib String Sys Target Translation

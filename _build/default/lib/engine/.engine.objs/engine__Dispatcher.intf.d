@@ -1,0 +1,1 @@
+lib/engine/dispatcher.mli: Determination Matrix Registry Target Translation

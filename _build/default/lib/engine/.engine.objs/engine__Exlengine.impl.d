@@ -1,0 +1,1 @@
+lib/engine/exlengine.ml: Calendar Cube Determination Dispatcher Historicity List Matrix Printf Registry Schema Store String Target Translation

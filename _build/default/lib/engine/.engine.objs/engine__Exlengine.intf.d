@@ -1,0 +1,1 @@
+lib/engine/exlengine.mli: Calendar Cube Determination Dispatcher Historicity Matrix Registry Target Translation

@@ -1,0 +1,1 @@
+lib/engine/historicity.ml: Calendar Cube Hashtbl List Matrix String

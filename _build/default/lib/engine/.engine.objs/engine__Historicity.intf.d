@@ -1,0 +1,1 @@
+lib/engine/historicity.mli: Calendar Cube Matrix

@@ -1,0 +1,1 @@
+lib/engine/target.ml: Cube Etl List Mappings Matrix Printf Registry Relational Result Schema String Tuple Vector

@@ -1,0 +1,1 @@
+lib/engine/target.mli: Mappings Matrix Registry

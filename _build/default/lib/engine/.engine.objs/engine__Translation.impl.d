@@ -1,0 +1,1 @@
+lib/engine/translation.ml: Determination Exl Hashtbl Mappings Result Target

@@ -1,0 +1,1 @@
+lib/engine/translation.mli: Determination Mappings Target

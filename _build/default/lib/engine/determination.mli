@@ -1,0 +1,59 @@
+open Matrix
+
+(** The determination engine (paper, Section 6).
+
+    Maintains the global DAG of dependencies among all stored cubes
+    across every registered program; when elementary cubes change, it
+    computes the topologically sorted set of derived cubes to
+    recalculate and dynamically builds the EXL program to run. *)
+
+type t
+
+val create : unit -> t
+
+val register_program :
+  ?synthetic:string list ->
+  t ->
+  name:string ->
+  Exl.Typecheck.checked ->
+  (unit, string) result
+(** Programs share elementary cubes (schemas must agree) but no derived
+    cube may be defined twice across programs.  [synthetic] names
+    declarations that only satisfied the standalone type check and must
+    not join the graph (used by [register_source]). *)
+
+val register_source : t -> name:string -> string -> (unit, string) result
+(** Parse, check and register EXL source text.  References to cubes
+    already in the global graph — including derived cubes of other
+    programs — are resolved automatically. *)
+
+val cubes : t -> string list
+(** All cubes in the global graph, sorted. *)
+
+val schema : t -> string -> Schema.t option
+val kind : t -> string -> Registry.kind option
+val sources_of : t -> string -> string list
+(** Direct dependencies (edges into the cube). *)
+
+val dependents_of : t -> string -> string list
+val derived_order : t -> string list
+(** All derived cubes in global definition order (a topological
+    order). *)
+
+val affected : t -> changed:string list -> string list
+(** Derived cubes that (transitively) depend on any changed cube, in
+    topological order — the recomputation set. *)
+
+val build_program :
+  t -> cubes:string list -> (Exl.Typecheck.checked, string) result
+(** Dynamically build the EXL program computing exactly [cubes] (in
+    their global order): inputs that are not recomputed become
+    declarations. *)
+
+val partition : assign:(string -> string) -> string list -> (string * string list) list
+(** Group a topologically ordered cube list into maximal consecutive
+    runs with the same assigned target — the per-target subgraphs the
+    dispatcher delegates. *)
+
+val dot : t -> string
+(** Graphviz rendering of the dependency DAG (documentation aid). *)

@@ -1,0 +1,197 @@
+open Matrix
+
+type assignment_policy = {
+  priority : string list;
+  overrides : (string * string) list;
+}
+
+let default_policy = { priority = [ "sql"; "vector"; "etl" ]; overrides = [] }
+
+(* All tgds (including those for normalizer temporaries) a cube's
+   statement generates — what a target must support to own the cube. *)
+let tgds_of_cube determination cube =
+  Result.bind (Translation.submapping determination ~cubes:[ cube ])
+    (fun mapping -> Ok mapping.Mappings.Mapping.t_tgds)
+
+let supports_all (target : Target.t) tgds =
+  List.for_all target.Target.supports tgds
+
+let assign ~targets ~policy determination cube =
+  Result.bind (tgds_of_cube determination cube) (fun tgds ->
+      match List.assoc_opt cube policy.overrides with
+      | Some forced -> (
+          match Target.find targets forced with
+          | None -> Error (Printf.sprintf "override for %s names unknown target %s" cube forced)
+          | Some t ->
+              if supports_all t tgds then Ok forced
+              else
+                Error
+                  (Printf.sprintf
+                     "override: target %s cannot compute cube %s (unsupported operator)"
+                     forced cube))
+      | None -> (
+          let candidate =
+            List.find_map
+              (fun name ->
+                match Target.find targets name with
+                | Some t when supports_all t tgds -> Some name
+                | _ -> None)
+              policy.priority
+          in
+          match candidate with
+          | Some name -> Ok name
+          | None ->
+              Error
+                (Printf.sprintf "no target in [%s] can compute cube %s"
+                   (String.concat ", " policy.priority)
+                   cube)))
+
+type subgraph_report = {
+  target : string;
+  cubes : string list;
+  artifact : Target.artifact;
+  translate_seconds : float;
+  execute_seconds : float;
+}
+
+type report = {
+  subgraphs : subgraph_report list;
+  recomputed : string list;
+  translation_cache_hits : int;
+}
+
+let merge_into store (result : Registry.t) cubes =
+  List.iter
+    (fun cube ->
+      match Registry.find result cube with
+      | Some c -> Registry.add store Registry.Derived (Cube.copy c)
+      | None -> ())
+    cubes
+
+(* Group the (ordered) per-target subgraphs into waves: a wave extends
+   while the next group reads nothing produced inside the wave, so all
+   groups of a wave can execute concurrently (the paper's
+   "parallelization patterns" in the dispatcher). *)
+let waves_of_groups ~sources_of groups =
+  let rec build acc wave wave_targets = function
+    | [] -> List.rev (if wave = [] then acc else List.rev wave :: acc)
+    | ((_, cubes) as group) :: rest ->
+        let sources = sources_of cubes in
+        let independent =
+          List.for_all (fun s -> not (List.mem s wave_targets)) sources
+        in
+        if wave = [] || independent then
+          build acc (group :: wave) (cubes @ wave_targets) rest
+        else build (List.rev wave :: acc) [ group ] cubes rest
+  in
+  build [] [] [] groups
+
+let run ?(parallel = false) ~targets ~policy ~translation ~determination ~store
+    ~affected () =
+  (* 1. assignment *)
+  let rec assign_all acc = function
+    | [] -> Ok (List.rev acc)
+    | cube :: rest -> (
+        match assign ~targets ~policy determination cube with
+        | Ok target -> assign_all ((cube, target) :: acc) rest
+        | Error _ as e -> e)
+  in
+  Result.bind (assign_all [] affected) (fun assignments ->
+      (* 2. partition into consecutive same-target subgraphs *)
+      let groups =
+        Determination.partition
+          ~assign:(fun cube -> List.assoc cube assignments)
+          affected
+      in
+      (* 3. translate every subgraph up front (cached, "offline"). *)
+      let rec translate_all acc = function
+        | [] -> Ok (List.rev acc)
+        | (target_name, cubes) :: rest -> (
+            let target =
+              match Target.find targets target_name with
+              | Some t -> t
+              | None -> invalid_arg ("Dispatcher.run: unknown target " ^ target_name)
+            in
+            let t0 = Sys.time () in
+            match Translation.translate translation determination ~target ~cubes with
+            | Error msg ->
+                Error (Printf.sprintf "translating %s for %s: %s"
+                         (String.concat ", " cubes) target_name msg)
+            | Ok (artifact, mapping) ->
+                translate_all
+                  ((target, cubes, artifact, mapping, Sys.time () -. t0) :: acc)
+                  rest)
+      in
+      Result.bind (translate_all [] groups) (fun prepared ->
+          (* 4. execute, wave by wave; groups inside a wave touch
+             disjoint data and may run on separate domains. *)
+          let sources_of cubes =
+            List.concat_map (Determination.sources_of determination) cubes
+          in
+          let waves =
+            if parallel then
+              let name_waves =
+                waves_of_groups ~sources_of
+                  (List.map (fun (t, c, _, _, _) -> (t.Target.name, c)) prepared)
+              in
+              List.map
+                (fun wave ->
+                  List.map
+                    (fun (_, cubes) ->
+                      List.find (fun (_, c, _, _, _) -> c == cubes) prepared)
+                    wave)
+                name_waves
+            else List.map (fun entry -> [ entry ]) prepared
+          in
+          let execute_one (target, cubes, _, mapping, _) =
+            let t1 = Sys.time () in
+            match target.Target.execute mapping store with
+            | Error msg ->
+                Error
+                  (Printf.sprintf "executing %s on %s: %s"
+                     (String.concat ", " cubes) target.Target.name msg)
+            | Ok result -> Ok (result, Sys.time () -. t1)
+          in
+          let rec run_waves acc = function
+            | [] ->
+                Ok
+                  {
+                    subgraphs = List.rev acc;
+                    recomputed = affected;
+                    translation_cache_hits = Translation.cache_hits translation;
+                  }
+            | wave :: rest -> (
+                let outcomes =
+                  match wave with
+                  | [ single ] -> [ (single, execute_one single) ]
+                  | _ ->
+                      let domains =
+                        List.map
+                          (fun entry ->
+                            (entry, Stdlib.Domain.spawn (fun () -> execute_one entry)))
+                          wave
+                      in
+                      List.map (fun (entry, d) -> (entry, Stdlib.Domain.join d)) domains
+                in
+                let rec fold_outcomes acc = function
+                  | [] -> Ok acc
+                  | ((target, cubes, artifact, _, t_sec), Ok (result, e_sec))
+                    :: rest ->
+                      merge_into store result cubes;
+                      fold_outcomes
+                        ({
+                           target = target.Target.name;
+                           cubes;
+                           artifact;
+                           translate_seconds = t_sec;
+                           execute_seconds = e_sec;
+                         }
+                        :: acc)
+                        rest
+                  | (_, Error msg) :: _ -> Error msg
+                in
+                match fold_outcomes acc outcomes with
+                | Error _ as e -> e
+                | Ok acc -> run_waves acc rest)
+          in
+          run_waves [] waves))

@@ -1,0 +1,58 @@
+open Matrix
+
+(** The dispatcher (paper, Section 6): assigns each recomputed cube to
+    a target system using technical metadata (explicit overrides) and
+    capabilities, partitions the topologically sorted recomputation set
+    into per-target subgraphs, and runs each subgraph's executable on
+    its engine, sharing data through the central cube store. *)
+
+type assignment_policy = {
+  priority : string list;
+      (** Target names in preference order; the first whose
+          capabilities cover all of a cube's tgds wins. *)
+  overrides : (string * string) list;
+      (** Technical metadata: cube name → target name. An override
+          naming a target that cannot run the cube is an error. *)
+}
+
+val default_policy : assignment_policy
+
+val assign :
+  targets:Target.t list ->
+  policy:assignment_policy ->
+  Determination.t ->
+  string ->
+  (string, string) result
+(** The target that will compute the given derived cube. *)
+
+type subgraph_report = {
+  target : string;
+  cubes : string list;
+  artifact : Target.artifact;
+  translate_seconds : float;
+  execute_seconds : float;
+}
+
+type report = {
+  subgraphs : subgraph_report list;
+  recomputed : string list;
+  translation_cache_hits : int;
+}
+
+val run :
+  ?parallel:bool ->
+  targets:Target.t list ->
+  policy:assignment_policy ->
+  translation:Translation.t ->
+  determination:Determination.t ->
+  store:Registry.t ->
+  affected:string list ->
+  unit ->
+  (report, string) result
+(** Executes the per-target subgraphs in topological order; each
+    subgraph's derived cubes are merged back into [store] so later
+    subgraphs (possibly on other engines) can read them.  All
+    translation happens up front (offline, cached); with [parallel],
+    consecutive subgraphs that do not read each other's outputs execute
+    concurrently on separate domains (the paper's dispatcher
+    "parallelization patterns"). *)

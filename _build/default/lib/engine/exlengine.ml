@@ -1,0 +1,119 @@
+open Matrix
+
+type config = {
+  targets : Target.t list;
+  policy : Dispatcher.assignment_policy;
+  record_history : bool;
+  parallel_dispatch : bool;
+}
+
+let default_config =
+  {
+    targets = Target.builtins;
+    policy = Dispatcher.default_policy;
+    record_history = true;
+    parallel_dispatch = false;
+  }
+
+type t = {
+  config : config;
+  determination : Determination.t;
+  translation : Translation.t;
+  store : Registry.t;
+  history : Historicity.t;
+  mutable dirty : string list;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    determination = Determination.create ();
+    translation = Translation.create ();
+    store = Registry.create ();
+    history = Historicity.create ();
+    dirty = [];
+  }
+
+let register_program t ~name source =
+  Determination.register_source t.determination ~name source
+
+let load_elementary t cube =
+  let name = Cube.name cube in
+  match Determination.schema t.determination name with
+  | None -> Error (Printf.sprintf "no program declares cube %s" name)
+  | Some schema ->
+      if Determination.kind t.determination name <> Some Registry.Elementary
+      then Error (Printf.sprintf "cube %s is derived, not elementary" name)
+      else begin
+        let ok = ref true in
+        Cube.iter
+          (fun k _ -> if not (Schema.compatible_tuple schema k) then ok := false)
+          cube;
+        if not !ok then
+          Error (Printf.sprintf "data for %s does not fit schema %s" name
+                   (Schema.to_string schema))
+        else begin
+          Registry.add t.store Registry.Elementary
+            (Cube.with_schema schema (Cube.copy cube));
+          if not (List.mem name t.dirty) then t.dirty <- name :: t.dirty;
+          Ok ()
+        end
+      end
+
+let changed t = List.sort String.compare t.dirty
+
+let default_as_of = Calendar.Date.make ~year:2026 ~month:1 ~day:1
+
+let run_affected ?(as_of = default_as_of) t affected =
+  match
+    Dispatcher.run ~parallel:t.config.parallel_dispatch
+      ~targets:t.config.targets ~policy:t.config.policy
+      ~translation:t.translation ~determination:t.determination ~store:t.store
+      ~affected ()
+  with
+  | Error _ as e -> e
+  | Ok report ->
+      if t.config.record_history then
+        List.iter
+          (fun cube ->
+            match Registry.find t.store cube with
+            | Some c -> Historicity.store t.history ~valid_from:as_of c
+            | None -> ())
+          report.Dispatcher.recomputed;
+      t.dirty <- [];
+      Ok report
+
+let recompute ?as_of t =
+  let affected = Determination.affected t.determination ~changed:t.dirty in
+  run_affected ?as_of t affected
+
+let recompute_all ?as_of t =
+  run_affected ?as_of t (Determination.derived_order t.determination)
+
+let save_store t ~dir = Store.save ~dir t.store
+
+let load_store t ~dir =
+  match Store.load ~dir with
+  | Error _ as e -> e
+  | Ok loaded ->
+      let rec loop = function
+        | [] -> Ok ()
+        | name :: rest -> (
+            let cube = Registry.find_exn loaded name in
+            match Registry.kind_of loaded name with
+            | Some Registry.Elementary -> (
+                match load_elementary t cube with
+                | Ok () -> loop rest
+                | Error _ as e -> e)
+            | _ ->
+                Registry.add t.store Registry.Derived cube;
+                loop rest)
+      in
+      loop (Registry.names loaded)
+
+let cube t name = Registry.find t.store name
+let cube_as_of t date name = Historicity.as_of t.history date name
+let store t = t.store
+let determination t = t.determination
+let translation_cache t = t.translation
+let history t = t.history

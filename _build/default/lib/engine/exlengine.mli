@@ -1,0 +1,56 @@
+open Matrix
+
+(** EXLEngine: the metadata-driven engine of Section 6, tying together
+    the determination engine, the translation engine (with its offline
+    cache), the dispatcher and the versioned cube store. *)
+
+type config = {
+  targets : Target.t list;
+  policy : Dispatcher.assignment_policy;
+  record_history : bool;
+      (** Store a dated version of every recomputed cube. *)
+  parallel_dispatch : bool;
+      (** Run independent per-target subgraphs on separate domains. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+val register_program : t -> name:string -> string -> (unit, string) result
+(** Register EXL source text; its cubes join the global DAG. *)
+
+val load_elementary : t -> Cube.t -> (unit, string) result
+(** Load (or replace) elementary data, validated against the declared
+    schema, and mark the cube as changed. *)
+
+val changed : t -> string list
+(** Cubes marked dirty since the last recomputation. *)
+
+val recompute :
+  ?as_of:Calendar.Date.t -> t -> (Dispatcher.report, string) result
+(** Determination → partition → (cached) translation → dispatch; clears
+    the dirty set.  [as_of] stamps the history versions (defaults to
+    2026-01-01). *)
+
+val recompute_all :
+  ?as_of:Calendar.Date.t -> t -> (Dispatcher.report, string) result
+(** Recompute every derived cube regardless of the dirty set. *)
+
+val save_store : t -> dir:string -> (unit, string) result
+(** Persist the central cube store (elementary and derived) to a
+    directory via {!Matrix.Store}. *)
+
+val load_store : t -> dir:string -> (unit, string) result
+(** Load previously saved cubes into the store.  Elementary cubes are
+    validated against the registered programs and marked changed (so
+    the next [recompute] refreshes anything stale); derived cubes are
+    restored as-is. *)
+
+val cube : t -> string -> Cube.t option
+val cube_as_of : t -> Calendar.Date.t -> string -> Cube.t option
+val store : t -> Registry.t
+val determination : t -> Determination.t
+val translation_cache : t -> Translation.t
+val history : t -> Historicity.t

@@ -1,0 +1,174 @@
+open Matrix
+
+type artifact =
+  | Sql_script of string
+  | R_script of string
+  | Matlab_script of string
+  | Kettle_xml of string
+
+let artifact_kind = function
+  | Sql_script _ -> "sql"
+  | R_script _ -> "r"
+  | Matlab_script _ -> "matlab"
+  | Kettle_xml _ -> "kettle-xml"
+
+let artifact_text = function
+  | Sql_script s | R_script s | Matlab_script s | Kettle_xml s -> s
+
+type t = {
+  name : string;
+  supports : Mappings.Tgd.t -> bool;
+  translate : Mappings.Mapping.t -> (artifact, string) result;
+  execute : Mappings.Mapping.t -> Registry.t -> (Registry.t, string) result;
+}
+
+let registry_of_sources mapping registry =
+  let out = Registry.create () in
+  List.iter
+    (fun schema ->
+      let cube =
+        match Registry.find registry schema.Schema.name with
+        | Some c -> Cube.with_schema schema (Cube.copy c)
+        | None -> Cube.create schema
+      in
+      Registry.add out Registry.Elementary cube)
+    mapping.Mappings.Mapping.source;
+  out
+
+let sql =
+  {
+    name = "sql";
+    supports = (fun _ -> true);
+    translate =
+      (fun mapping ->
+        Result.map
+          (fun script -> Sql_script (Relational.Sql_print.script_to_string script))
+          (Relational.Sql_gen.script_of_mapping mapping));
+    execute =
+      (fun mapping registry ->
+        let db = Relational.Database.create () in
+        List.iter
+          (fun schema ->
+            let cube =
+              match Registry.find registry schema.Schema.name with
+              | Some c -> Cube.with_schema schema c
+              | None -> Cube.create schema
+            in
+            Relational.Database.load_cube db cube)
+          mapping.Mappings.Mapping.source;
+        match Relational.Executor.run_mapping db mapping with
+        | Error _ as e -> e
+        | Ok _ -> (
+            try
+              Ok
+                (Relational.Database.to_registry db
+                   ~schemas:mapping.Mappings.Mapping.target
+                   ~elementary:
+                     (List.map
+                        (fun s -> s.Schema.name)
+                        mapping.Mappings.Mapping.source))
+            with
+            | Cube.Functionality_violation { cube; key } ->
+                Error
+                  (Printf.sprintf "functionality violation in %s at %s" cube
+                     (Tuple.to_string key))))
+  }
+
+let vector_supports = function
+  | Mappings.Tgd.Tuple_level { lhs; _ } -> List.length lhs <= 2
+  | Mappings.Tgd.Aggregation _ | Mappings.Tgd.Table_fn _
+  | Mappings.Tgd.Outer_combine _ ->
+      true
+
+let vector =
+  {
+    name = "vector";
+    supports = vector_supports;
+    translate =
+      (fun mapping ->
+        Result.map
+          (fun script -> R_script (Vector.R_print.script_to_string script))
+          (Vector.Script_gen.script_of_mapping mapping));
+    execute =
+      (fun mapping registry ->
+        match Vector.Script_gen.script_of_mapping mapping with
+        | Error _ as e -> e
+        | Ok script -> (
+            let env = Vector.Script_interp.create_env () in
+            List.iter
+              (fun schema ->
+                let cube =
+                  match Registry.find registry schema.Schema.name with
+                  | Some c -> Cube.with_schema schema c
+                  | None -> Cube.create schema
+                in
+                Vector.Script_interp.bind env schema.Schema.name
+                  (Vector.Frame.of_cube cube))
+              mapping.Mappings.Mapping.source;
+            let schema_lookup = Mappings.Mapping.target_schema mapping in
+            match Vector.Script_interp.run ~schema_lookup env script with
+            | Error _ as e -> e
+            | Ok () -> (
+                try
+                  let out = Registry.create () in
+                  let elementary =
+                    List.map
+                      (fun s -> s.Schema.name)
+                      mapping.Mappings.Mapping.source
+                  in
+                  List.iter
+                    (fun schema ->
+                      let name = schema.Schema.name in
+                      let kind =
+                        if List.mem name elementary then Registry.Elementary
+                        else Registry.Derived
+                      in
+                      let cube =
+                        match Vector.Script_interp.frame env name with
+                        | Some f -> Vector.Frame.to_cube schema f
+                        | None -> Cube.create schema
+                      in
+                      Registry.add out kind cube)
+                    mapping.Mappings.Mapping.target;
+                  Ok out
+                with
+                | Cube.Functionality_violation { cube; key } ->
+                    Error
+                      (Printf.sprintf "functionality violation in %s at %s" cube
+                         (Tuple.to_string key))
+                | Invalid_argument msg -> Error msg)))
+  }
+
+let stl_family = [ "stl_t"; "stl_s"; "stl_r"; "deseason"; "trend_classical" ]
+
+let etl_supports ~with_stl = function
+  | Mappings.Tgd.Tuple_level { lhs; _ } -> List.length lhs <= 2
+  | Mappings.Tgd.Aggregation _ | Mappings.Tgd.Outer_combine _ -> true
+  | Mappings.Tgd.Table_fn { fn; _ } ->
+      with_stl || not (List.mem (String.lowercase_ascii fn) stl_family)
+
+let make_etl ~name ~with_stl =
+  {
+    name;
+    supports = etl_supports ~with_stl;
+    translate =
+      (fun mapping ->
+        Result.map
+          (fun job -> Kettle_xml (Etl.Kettle.job_to_xml job))
+          (Etl.Etl_gen.job_of_mapping mapping));
+    execute =
+      (fun mapping registry ->
+        match Etl.Etl_gen.job_of_mapping mapping with
+        | Error _ as e -> e
+        | Ok job -> (
+            let storage = registry_of_sources mapping registry in
+            let schema_lookup = Mappings.Mapping.target_schema mapping in
+            match Etl.Engine.run_job ~storage ~schema_lookup job with
+            | Error _ as e -> e
+            | Ok _stats -> Ok storage))
+  }
+
+let etl_no_stl = make_etl ~name:"etl" ~with_stl:false
+let etl_full = make_etl ~name:"etl-full" ~with_stl:true
+let builtins = [ sql; vector; etl_no_stl ]
+let find targets name = List.find_opt (fun t -> t.name = name) targets

@@ -1,0 +1,49 @@
+open Matrix
+
+(** Target-system descriptors (paper, Sections 5 and 6).
+
+    Each target declares which tgds it can natively run ("it is not the
+    case that all operators are natively supported by all systems"),
+    how to render its deployable artifact, and how to execute a
+    sub-mapping against cube storage. *)
+
+type artifact =
+  | Sql_script of string
+  | R_script of string
+  | Matlab_script of string
+  | Kettle_xml of string
+
+val artifact_kind : artifact -> string
+val artifact_text : artifact -> string
+
+type t = {
+  name : string;
+  supports : Mappings.Tgd.t -> bool;
+  translate : Mappings.Mapping.t -> (artifact, string) result;
+  execute : Mappings.Mapping.t -> Registry.t -> (Registry.t, string) result;
+      (** Run the mapping's tgds; the input registry provides this
+          sub-mapping's source relations; the result holds the target
+          relations. *)
+}
+
+val sql : t
+(** The DBMS target: supports every tgd shape (black boxes via tabular
+    UDFs), including fused multi-atom tgds. *)
+
+val vector : t
+(** The R/Matlab target: native statistical operators, at most two
+    atoms per tuple-level tgd. *)
+
+val etl_no_stl : t
+(** The ETL target with realistic capabilities: tuple-level operators,
+    aggregations, and simple user-defined steps — but {e no} seasonal
+    decomposition (off-the-shelf ETL engines lack it), so such tgds must
+    be dispatched elsewhere. *)
+
+val etl_full : t
+(** The ETL target with user-defined steps covering all black boxes. *)
+
+val builtins : t list
+(** [sql; vector; etl_no_stl], the default palette. *)
+
+val find : t list -> string -> t option

@@ -1,0 +1,36 @@
+type entry = (Target.artifact * Mappings.Mapping.t, string) result
+
+type t = {
+  cache : (string * string list, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { cache = Hashtbl.create 32; hits = 0; misses = 0 }
+
+let submapping determination ~cubes =
+  Result.bind (Determination.build_program determination ~cubes)
+    (fun checked ->
+      match Mappings.Generate.of_checked checked with
+      | Ok g -> Ok g.Mappings.Generate.mapping
+      | Error e -> Error (Exl.Errors.to_string e))
+
+let translate t determination ~(target : Target.t) ~cubes =
+  let key = (target.Target.name, cubes) in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      entry
+  | None ->
+      t.misses <- t.misses + 1;
+      let entry =
+        Result.bind (submapping determination ~cubes) (fun mapping ->
+            Result.map
+              (fun artifact -> (artifact, mapping))
+              (target.Target.translate mapping))
+      in
+      Hashtbl.replace t.cache key entry;
+      entry
+
+let cache_hits t = t.hits
+let cache_misses t = t.misses

@@ -1,0 +1,27 @@
+(** The translation engine (paper, Section 6): subgraph → schema
+    mapping → target artifact, cached.
+
+    "All the activities described so far can be efficiently performed
+    off line or at the startup of the system" — the cache is what makes
+    translation cost independent of the data, which experiment X3
+    quantifies. *)
+
+type t
+
+val create : unit -> t
+
+val submapping :
+  Determination.t -> cubes:string list -> (Mappings.Mapping.t, string) result
+(** The schema mapping computing exactly [cubes], treating earlier
+    derived cubes as sources. *)
+
+val translate :
+  t ->
+  Determination.t ->
+  target:Target.t ->
+  cubes:string list ->
+  (Target.artifact * Mappings.Mapping.t, string) result
+(** Cached by (target name, cube list). *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int

@@ -1,0 +1,1 @@
+lib/etl/engine.ml: Array Cube Flow Hashtbl Job List Mappings Matrix Ops Option Printf Registry Schema Stats Step Tuple Value

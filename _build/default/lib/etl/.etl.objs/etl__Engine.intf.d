@@ -1,0 +1,1 @@
+lib/etl/engine.mli: Flow Job Matrix Registry Schema

@@ -1,0 +1,1 @@
+lib/etl/etl_gen.ml: Flow Job List Mappings Matrix Option Printf Schema Step Value

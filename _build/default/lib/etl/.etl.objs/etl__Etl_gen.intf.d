@@ -1,0 +1,1 @@
+lib/etl/etl_gen.mli: Flow Job Mappings

@@ -1,0 +1,1 @@
+lib/etl/etl_target.ml: Cube Engine Etl_gen Exl Kettle List Mappings Matrix Registry Result Schema

@@ -1,0 +1,1 @@
+lib/etl/etl_target.mli: Exl Job Mappings Matrix Registry

@@ -1,0 +1,1 @@
+lib/etl/flow.ml: Hashtbl List Printf Step String

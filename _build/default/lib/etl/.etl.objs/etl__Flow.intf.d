@@ -1,0 +1,1 @@
+lib/etl/flow.mli: Step

@@ -1,0 +1,1 @@
+lib/etl/job.ml: Flow List Printf String

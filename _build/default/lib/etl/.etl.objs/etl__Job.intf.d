@@ -1,0 +1,1 @@
+lib/etl/job.mli: Flow

@@ -1,0 +1,1 @@
+lib/etl/kettle.ml: Buffer Flow Job List Mappings Printf Stats Step String

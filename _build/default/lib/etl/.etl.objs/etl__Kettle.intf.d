@@ -1,0 +1,1 @@
+lib/etl/kettle.mli: Flow Job

@@ -1,0 +1,1 @@
+lib/etl/step.ml: List Mappings Matrix Printf Stats String Value

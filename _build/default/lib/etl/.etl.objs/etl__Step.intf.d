@@ -1,0 +1,1 @@
+lib/etl/step.mli: Mappings Matrix Stats Value

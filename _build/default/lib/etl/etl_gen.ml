@@ -1,0 +1,226 @@
+open Matrix
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+
+exception Gen_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Gen_error m)) fmt
+
+let columns_of_schema schema =
+  Schema.dim_names schema @ [ schema.Schema.measure_name ]
+
+let plain_vars mapping (atom : Tgd.atom) =
+  let schema = Mappings.Mapping.target_schema_exn mapping atom.Tgd.rel in
+  List.mapi (fun i term -> (i, term)) atom.Tgd.args
+  |> List.filter_map (fun (i, term) ->
+         match term with
+         | Term.Var v -> Some (v, List.nth (columns_of_schema schema) i)
+         | _ -> None)
+
+(* Constant args in an atom select rows: a FilterRows step after the
+   data source. *)
+let source_steps mapping (atom : Tgd.atom) ~input_name =
+  let schema = Mappings.Mapping.target_schema_exn mapping atom.Tgd.rel in
+  let conditions =
+    List.mapi (fun i term -> (i, term)) atom.Tgd.args
+    |> List.filter_map (fun (i, term) ->
+           match term with
+           | Term.Const v -> Some (List.nth (columns_of_schema schema) i, v)
+           | _ -> None)
+  in
+  match conditions with
+  | [] -> ([ Step.Table_input { step = input_name; cube = atom.Tgd.rel } ], input_name)
+  | _ ->
+      ( [
+          Step.Table_input { step = input_name; cube = atom.Tgd.rel };
+          Step.Filter_rows
+            { step = input_name ^ "_filter"; input = input_name; conditions };
+        ],
+        input_name ^ "_filter" )
+
+(* Rewrite a term's variables to the stream field names they live in. *)
+let rebase binding term =
+  Term.substitute
+    (fun v ->
+      match List.assoc_opt v binding with
+      | Some field -> Some (Term.Var field)
+      | None -> fail "variable %s is not bound by a source step" v)
+    term
+
+(* Calculation + select + output suffix shared by all tuple-level
+   shapes: compute each target column from its term. *)
+let finish mapping target input_step binding rhs_args =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  let target_cols = columns_of_schema target_schema in
+  let outputs =
+    List.map2
+      (fun term col -> ("o_" ^ col, rebase binding term))
+      rhs_args target_cols
+  in
+  [
+    Step.Calculator { step = "calc"; input = input_step; outputs };
+    Step.Select_fields
+      {
+        step = "select";
+        input = "calc";
+        fields = List.map (fun c -> ("o_" ^ c, c)) target_cols;
+      };
+    Step.Table_output { step = "output"; input = "select"; cube = target };
+  ]
+
+let tuple_level mapping lhs (rhs : Tgd.atom) =
+  let target = rhs.Tgd.rel in
+  match lhs with
+  | [] ->
+      let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+      let cols = columns_of_schema target_schema in
+      let row = List.map (Term.eval (fun _ -> None)) rhs.Tgd.args in
+      let rows =
+        if List.for_all Option.is_some row then [ List.map Option.get row ]
+        else []
+      in
+      [
+        Step.Generate_rows { step = "const"; fields = cols; rows };
+        Step.Table_output { step = "output"; input = "const"; cube = target };
+      ]
+  | [ atom ] ->
+      let binding = plain_vars mapping atom in
+      let steps, out = source_steps mapping atom ~input_name:"in" in
+      steps @ finish mapping target out binding rhs.Tgd.args
+  | [ left; right ] ->
+      let left_schema = Mappings.Mapping.target_schema_exn mapping left.Tgd.rel in
+      let right_schema =
+        Mappings.Mapping.target_schema_exn mapping right.Tgd.rel
+      in
+      let left_plain = plain_vars mapping left in
+      let right_plain = plain_vars mapping right in
+      let keys =
+        List.filter_map
+          (fun (v, c) ->
+            match List.assoc_opt v right_plain with
+            | Some c' when c = c' -> Some c
+            | _ -> None)
+          left_plain
+      in
+      let left_cols = columns_of_schema left_schema in
+      let right_cols = columns_of_schema right_schema in
+      let clash c =
+        (not (List.mem c keys)) && List.mem c left_cols && List.mem c right_cols
+      in
+      let binding =
+        List.map (fun (v, c) -> (v, if clash c then c ^ "_x" else c)) left_plain
+        @ List.filter_map
+            (fun (v, c) ->
+              if List.mem_assoc v left_plain then None
+              else Some (v, if clash c then c ^ "_y" else c))
+            right_plain
+      in
+      let left_steps, left_out = source_steps mapping left ~input_name:"in_left" in
+      let right_steps, right_out =
+        source_steps mapping right ~input_name:"in_right"
+      in
+      left_steps @ right_steps
+      @ [
+          Step.Merge_join
+            { step = "merge"; left = left_out; right = right_out; keys; join = `Inner };
+        ]
+      @ finish mapping target "merge" binding rhs.Tgd.args
+  | _ ->
+      fail "ETL target supports at most two atoms per tgd; run on the unfused mapping"
+
+let aggregation mapping (source : Tgd.atom) group_by aggr measure target =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  let binding = plain_vars mapping source in
+  let keys =
+    List.map2
+      (fun term dim -> (dim, rebase binding term))
+      group_by
+      (Schema.dim_names target_schema)
+  in
+  let measure_term =
+    match List.assoc_opt measure binding with
+    | Some field -> Term.Var field
+    | None -> fail "aggregation measure %s is not a plain variable" measure
+  in
+  [
+    Step.Table_input { step = "in"; cube = source.Tgd.rel };
+    Step.Sort { step = "sort"; input = "in" };
+    Step.Group_by
+      { step = "group"; input = "sort"; keys; aggr; measure = measure_term };
+    Step.Select_fields
+      {
+        step = "select";
+        input = "group";
+        fields =
+          List.map (fun d -> (d, d)) (Schema.dim_names target_schema)
+          @ [ ("value", target_schema.Schema.measure_name) ];
+      };
+    Step.Table_output { step = "output"; input = "select"; cube = target };
+  ]
+
+(* vadd(A, B): full-outer merge join, measures coalesced with the
+   default before combining. *)
+let outer_combine mapping (left : Tgd.atom) (right : Tgd.atom) op default target =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  let dims = Schema.dim_names target_schema in
+  let left_schema = Mappings.Mapping.target_schema_exn mapping left.Tgd.rel in
+  let right_schema = Mappings.Mapping.target_schema_exn mapping right.Tgd.rel in
+  let lm = left_schema.Schema.measure_name in
+  let rm = right_schema.Schema.measure_name in
+  let lm_out, rm_out = if lm = rm then (lm ^ "_x", rm ^ "_y") else (lm, rm) in
+  let coalesced field =
+    Term.Coalesce (Term.Var field, Term.Const (Value.Float default))
+  in
+  [
+    Step.Table_input { step = "in_left"; cube = left.Tgd.rel };
+    Step.Table_input { step = "in_right"; cube = right.Tgd.rel };
+    Step.Merge_join
+      { step = "merge"; left = "in_left"; right = "in_right"; keys = dims; join = `Full };
+    Step.Calculator
+      {
+        step = "calc";
+        input = "merge";
+        outputs = [ ("o_value", Term.Binapp (op, coalesced lm_out, coalesced rm_out)) ];
+      };
+    Step.Select_fields
+      {
+        step = "select";
+        input = "calc";
+        fields =
+          List.map (fun d -> (d, d)) dims
+          @ [ ("o_value", target_schema.Schema.measure_name) ];
+      };
+    Step.Table_output { step = "output"; input = "select"; cube = target };
+  ]
+
+let flow_of_tgd mapping tgd =
+  let target = Tgd.target_relation tgd in
+  try
+    let steps =
+      match tgd with
+      | Tgd.Tuple_level { lhs; rhs } -> tuple_level mapping lhs rhs
+      | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
+          aggregation mapping source group_by aggr measure target
+      | Tgd.Outer_combine { left; right; op; default; target } ->
+          outer_combine mapping left right op default target
+      | Tgd.Table_fn { fn; params; source; target } ->
+          [
+            Step.Table_input { step = "in"; cube = source };
+            Step.Table_function
+              { step = "apply"; input = "in"; fn; params; schema_of = source };
+            Step.Table_output { step = "output"; input = "apply"; cube = target };
+          ]
+    in
+    Flow.make ~name:("compute_" ^ target) steps
+  with Gen_error msg -> Error msg
+
+let job_of_mapping mapping =
+  let rec loop acc = function
+    | [] -> Ok (Job.make ~name:"exl_job" (List.rev acc))
+    | tgd :: rest -> (
+        match flow_of_tgd mapping tgd with
+        | Ok flow -> loop (flow :: acc) rest
+        | Error msg ->
+            Error (Printf.sprintf "on tgd [%s]: %s" (Tgd.to_string tgd) msg))
+  in
+  loop [] mapping.Mappings.Mapping.t_tgds

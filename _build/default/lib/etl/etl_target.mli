@@ -1,0 +1,17 @@
+open Matrix
+
+(** The ETL target system, end to end: EXL program → (unfused) mapping
+    → job of flows → streaming engine → cubes. *)
+
+val job_of_program :
+  Exl.Typecheck.checked -> (Job.t * Mappings.Mapping.t, Exl.Errors.t) result
+
+val run_program :
+  ?batch_size:int ->
+  Exl.Typecheck.checked ->
+  Registry.t ->
+  (Registry.t, Exl.Errors.t) result
+
+val kettle_catalog_of_program :
+  Exl.Typecheck.checked -> (string, Exl.Errors.t) result
+(** The Kettle-style XML the translation engine would feed to Pentaho. *)

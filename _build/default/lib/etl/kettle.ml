@@ -1,0 +1,83 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let tag name body = Printf.sprintf "<%s>%s</%s>" name body name
+
+let step_to_xml step =
+  let detail =
+    match step with
+    | Step.Table_input { cube; _ } -> [ tag "table" (escape cube) ]
+    | Step.Generate_rows { rows; _ } ->
+        [ tag "limit" (string_of_int (List.length rows)) ]
+    | Step.Filter_rows { conditions; _ } ->
+        List.map
+          (fun (f, v) ->
+            tag "condition"
+              (tag "leftvalue" (escape f)
+              ^ tag "function" "="
+              ^ tag "value" (escape (Mappings.Term.to_string (Mappings.Term.Const v)))))
+          conditions
+    | Step.Merge_join { keys; join; _ } ->
+        List.map (fun k -> tag "key" (escape k)) keys
+        @ [
+            tag "join_type"
+              (match join with `Inner -> "INNER" | `Full -> "FULL OUTER");
+          ]
+    | Step.Sort _ -> []
+    | Step.Calculator { outputs; _ } ->
+        List.map
+          (fun (f, term) ->
+            tag "calculation"
+              (tag "field_name" (escape f)
+              ^ tag "formula" (escape (Mappings.Term.to_string term))))
+          outputs
+    | Step.Group_by { keys; aggr; measure; _ } ->
+        List.map (fun (k, _) -> tag "group_field" (escape k)) keys
+        @ [
+            tag "aggregate" (escape (Stats.Aggregate.to_string aggr));
+            tag "subject" (escape (Mappings.Term.to_string measure));
+          ]
+    | Step.Table_function { fn; params; _ } ->
+        tag "class" (escape fn)
+        :: List.map (fun p -> tag "parameter" (Printf.sprintf "%g" p)) params
+    | Step.Select_fields { fields; _ } ->
+        List.map
+          (fun (src, dst) ->
+            tag "field" (tag "name" (escape src) ^ tag "rename" (escape dst)))
+          fields
+    | Step.Table_output { cube; _ } -> [ tag "table" (escape cube) ]
+  in
+  tag "step"
+    (tag "name" (escape (Step.name step))
+    ^ tag "type" (Step.kind step)
+    ^ String.concat "" detail)
+
+let hop_to_xml step =
+  List.map
+    (fun input ->
+      tag "hop"
+        (tag "from" (escape input) ^ tag "to" (escape (Step.name step))))
+    (Step.inputs step)
+
+let flow_to_xml flow =
+  tag "transformation"
+    (tag "info" (tag "name" (escape flow.Flow.name))
+    ^ String.concat "" (List.map step_to_xml flow.Flow.steps)
+    ^ tag "order" (String.concat "" (List.concat_map hop_to_xml flow.Flow.steps)))
+
+let job_to_xml job =
+  "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+  ^ tag "job"
+      (tag "name" (escape job.Job.name)
+      ^ String.concat "\n" (List.map flow_to_xml job.Job.flows))

@@ -1,0 +1,1 @@
+lib/exchange/chase.ml: Array Cube Float Hashtbl Instance List Mappings Matrix Ops Option Printf Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/exchange/chase.mli: Instance Mappings

@@ -1,0 +1,1 @@
+lib/exchange/delta.ml: Array Chase Cube Domain Float Fun Hashtbl Instance List Mappings Matrix Ops Option Printf Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/exchange/delta.mli: Chase Instance Mappings

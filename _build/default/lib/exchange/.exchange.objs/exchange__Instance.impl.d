@@ -1,0 +1,1 @@
+lib/exchange/instance.ml: Array Cube Format Hashtbl List Matrix Option Printf Registry Schema String Tuple Value

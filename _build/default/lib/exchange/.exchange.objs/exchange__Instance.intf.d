@@ -1,0 +1,1 @@
+lib/exchange/instance.mli: Cube Format Matrix Registry Schema Value

@@ -1,0 +1,1 @@
+lib/exchange/verify.ml: Chase Cube Exl Instance List Mappings Matrix Printf Registry Result Schema String

@@ -1,0 +1,1 @@
+lib/exchange/verify.mli: Chase Exl Matrix Registry

@@ -1,0 +1,355 @@
+open Matrix
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+
+type stats = {
+  mutable matches_examined : int;
+  mutable tuples_generated : int;
+  mutable tgds_applied : int;
+  mutable egd_checks : int;
+}
+
+let empty_stats () =
+  { matches_examined = 0; tuples_generated = 0; tgds_applied = 0; egd_checks = 0 }
+
+exception Chase_error of string
+
+(* A variable binding; small, so an association list with functional
+   extension keeps backtracking trivial. *)
+type binding = (string * Value.t) list
+
+let lookup (b : binding) v = List.assoc_opt v b
+
+let term_value b t = Term.eval (lookup b) t
+
+let term_fully_bound b t =
+  List.for_all (fun v -> lookup b v <> None) (Term.vars t)
+
+(* Try to extend [binding] so that [args] (terms) match [fact] (values),
+   positionally.  Complex terms whose variables are not all bound yet
+   are deferred to [deferred]. *)
+let match_fact binding deferred args fact =
+  let n = Array.length fact in
+  if List.length args <> n then None
+  else
+    let rec loop i binding deferred = function
+      | [] -> Some (binding, deferred)
+      | term :: rest -> (
+          let value = fact.(i) in
+          match term with
+          | Term.Var v -> (
+              match lookup binding v with
+              | Some bound ->
+                  if Value.equal bound value then
+                    loop (i + 1) binding deferred rest
+                  else None
+              | None -> loop (i + 1) ((v, value) :: binding) deferred rest)
+          | _ ->
+              if term_fully_bound binding term then
+                match term_value binding term with
+                | Some computed when Value.equal computed value ->
+                    loop (i + 1) binding deferred rest
+                | _ -> None
+              else loop (i + 1) binding ((term, value) :: deferred) rest)
+    in
+    loop 0 binding deferred args
+
+(* Re-check deferred constraints that became evaluable. *)
+let settle_deferred binding deferred =
+  let rec loop acc = function
+    | [] -> Some acc
+    | (term, value) :: rest ->
+        if term_fully_bound binding term then
+          match term_value binding term with
+          | Some computed when Value.equal computed value -> loop acc rest
+          | _ -> None
+        else loop ((term, value) :: acc) rest
+  in
+  loop [] deferred
+
+(* Enumerate all assignments satisfying the conjunction of atoms.
+
+   This is a hash join: for each atom after the first, the argument
+   positions whose terms are fully determined by the variables bound so
+   far (statically known) are used as a lookup key into an index built
+   once per (relation, positions) pair, so a two-atom tgd runs in time
+   linear in the instance rather than quadratic. *)
+let match_atoms instance stats atoms (k : binding -> unit) =
+  let fact_cache : (string, Value.t array array) Hashtbl.t = Hashtbl.create 4 in
+  let facts_of rel =
+    match Hashtbl.find_opt fact_cache rel with
+    | Some f -> f
+    | None ->
+        let f = Array.of_list (Instance.facts instance rel) in
+        Hashtbl.replace fact_cache rel f;
+        f
+  in
+  let index_cache :
+      (string * int list, Value.t array list Tuple.Table.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let index_of rel positions =
+    let cache_key = (rel, positions) in
+    match Hashtbl.find_opt index_cache cache_key with
+    | Some idx -> idx
+    | None ->
+        let idx = Tuple.Table.create 64 in
+        (* Iterate in reverse so each bucket ends up in sorted order. *)
+        let all = facts_of rel in
+        for i = Array.length all - 1 downto 0 do
+          let fact = all.(i) in
+          let key =
+            Tuple.of_list (List.map (fun p -> fact.(p)) positions)
+          in
+          let prev = Option.value ~default:[] (Tuple.Table.find_opt idx key) in
+          Tuple.Table.replace idx key (fact :: prev)
+        done;
+        Hashtbl.replace index_cache cache_key idx;
+        idx
+  in
+  let rec go bound_vars binding deferred = function
+    | [] ->
+        if deferred <> [] then
+          raise
+            (Chase_error
+               "tgd not executable: a complex term's variables never get bound");
+        k binding
+    | (atom : Tgd.atom) :: rest ->
+        let determined_positions =
+          List.mapi (fun i term -> (i, term)) atom.Tgd.args
+          |> List.filter (fun (_, term) ->
+                 List.for_all (fun v -> List.mem v bound_vars) (Term.vars term))
+          |> List.map fst
+        in
+        let candidates =
+          if determined_positions = [] then Some (facts_of atom.Tgd.rel)
+          else
+            let expected =
+              List.map
+                (fun p -> term_value binding (List.nth atom.Tgd.args p))
+                determined_positions
+            in
+            if List.exists Option.is_none expected then None
+            else
+              let key = Tuple.of_list (List.map Option.get expected) in
+              let idx = index_of atom.Tgd.rel determined_positions in
+              Some
+                (Array.of_list
+                   (Option.value ~default:[] (Tuple.Table.find_opt idx key)))
+        in
+        let bound_vars' =
+          List.fold_left
+            (fun acc term ->
+              match term with Term.Var v -> v :: acc | _ -> acc)
+            bound_vars atom.Tgd.args
+        in
+        (match candidates with
+        | None -> ()
+        | Some facts ->
+            Array.iter
+              (fun fact ->
+                stats.matches_examined <- stats.matches_examined + 1;
+                match match_fact binding deferred atom.Tgd.args fact with
+                | None -> ()
+                | Some (binding', deferred') -> (
+                    match settle_deferred binding' deferred' with
+                    | None -> ()
+                    | Some deferred'' -> go bound_vars' binding' deferred'' rest))
+              facts)
+  in
+  go [] [] [] atoms
+
+let emit_fact instance stats rel values =
+  if Instance.insert instance rel (Array.of_list values) then
+    stats.tuples_generated <- stats.tuples_generated + 1
+
+let apply_tuple_level instance stats lhs (rhs : Tgd.atom) =
+  match_atoms instance stats lhs (fun binding ->
+      (* Any undefined term leaves a hole in the result cube, matching
+         the partial-function semantics of EXL operators. *)
+      let values = List.map (term_value binding) rhs.Tgd.args in
+      if List.for_all Option.is_some values then
+        emit_fact instance stats rhs.Tgd.rel (List.map Option.get values))
+
+let apply_aggregation instance stats (source : Tgd.atom) group_by aggr measure
+    target =
+  let groups : float list ref Tuple.Table.t = Tuple.Table.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun fact ->
+      stats.matches_examined <- stats.matches_examined + 1;
+      match match_fact [] [] source.Tgd.args fact with
+      | None -> ()
+      | Some (binding, deferred) ->
+          if deferred <> [] then
+            raise (Chase_error "aggregation source atom must use variables");
+          let key_values =
+            List.map
+              (fun t ->
+                match term_value binding t with
+                | Some v -> v
+                | None ->
+                    raise
+                      (Chase_error
+                         (Printf.sprintf
+                            "group-by term %s undefined on a source tuple"
+                            (Term.to_string t))))
+              group_by
+          in
+          let key = Tuple.of_list key_values in
+          let m =
+            match Option.bind (lookup binding measure) Value.to_float with
+            | Some f -> f
+            | None ->
+                raise (Chase_error "aggregation measure is not numeric")
+          in
+          (match Tuple.Table.find_opt groups key with
+          | Some bag -> bag := m :: !bag
+          | None ->
+              Tuple.Table.replace groups key (ref [ m ]);
+              order := key :: !order))
+    (Instance.facts instance source.Tgd.rel);
+  List.iter
+    (fun key ->
+      let bag = List.rev !(Tuple.Table.find groups key) in
+      let result = Stats.Aggregate.apply aggr bag in
+      if not (Float.is_nan result) then
+        emit_fact instance stats target
+          (Tuple.to_list key @ [ Value.of_float result ]))
+    (List.rev !order)
+
+let apply_table_fn instance stats fn params source target =
+  let cube = Instance.cube_of_relation instance source in
+  let op =
+    match Ops.Blackbox.find fn with
+    | Some op -> op
+    | None -> raise (Chase_error ("unknown black-box operator " ^ fn))
+  in
+  match Ops.Blackbox.apply_cube op ~params cube with
+  | Error msg -> raise (Chase_error msg)
+  | Ok result ->
+      Cube.iter
+        (fun k v ->
+          stats.matches_examined <- stats.matches_examined + 1;
+          emit_fact instance stats target (Array.to_list (Tuple.append k v)))
+        result
+
+(* The default-value vectorial variant: the union of both key sets,
+   missing sides contributing the default measure. *)
+let apply_outer_combine instance stats (left : Tgd.atom) (right : Tgd.atom) op
+    default target =
+  let dims_of fact =
+    let n = Array.length fact - 1 in
+    (Tuple.of_array (Array.sub fact 0 n), fact.(n))
+  in
+  let load (atom : Tgd.atom) =
+    let table : Value.t Tuple.Table.t = Tuple.Table.create 64 in
+    List.iter
+      (fun fact ->
+        stats.matches_examined <- stats.matches_examined + 1;
+        let key, measure = dims_of fact in
+        Tuple.Table.replace table key measure)
+      (Instance.facts instance atom.Tgd.rel);
+    table
+  in
+  let l = load left and r = load right in
+  let emit key vl vr =
+    let fl = Option.value ~default (Option.bind vl Value.to_float) in
+    let fr = Option.value ~default (Option.bind vr Value.to_float) in
+    match Ops.Binop.eval op fl fr with
+    | Some result ->
+        emit_fact instance stats target
+          (Tuple.to_list key @ [ Value.of_float result ])
+    | None -> ()
+  in
+  Tuple.Table.iter (fun key vl -> emit key (Some vl) (Tuple.Table.find_opt r key)) l;
+  Tuple.Table.iter
+    (fun key vr -> if not (Tuple.Table.mem l key) then emit key None (Some vr))
+    r
+
+let apply_tgd instance tgd stats =
+  try
+    (match tgd with
+    | Tgd.Tuple_level { lhs; rhs } -> apply_tuple_level instance stats lhs rhs
+    | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
+        apply_aggregation instance stats source group_by aggr measure target
+    | Tgd.Table_fn { fn; params; source; target } ->
+        apply_table_fn instance stats fn params source target
+    | Tgd.Outer_combine { left; right; op; default; target } ->
+        apply_outer_combine instance stats left right op default target);
+    stats.tgds_applied <- stats.tgds_applied + 1;
+    Ok ()
+  with
+  | Chase_error msg -> Error msg
+  | Cube.Functionality_violation { cube; key } ->
+      Error
+        (Printf.sprintf "functionality violation in %s at %s" cube
+           (Tuple.to_string key))
+
+let check_egd instance (egd : Mappings.Egd.t) stats =
+  match Instance.schema instance egd.Mappings.Egd.relation with
+  | None -> Ok ()
+  | Some _ ->
+      let seen : Value.t Tuple.Table.t = Tuple.Table.create 64 in
+      let rec loop = function
+        | [] -> Ok ()
+        | fact :: rest ->
+            let n = Array.length fact - 1 in
+            let key = Tuple.of_array (Array.sub fact 0 n) in
+            let measure = fact.(n) in
+            stats.egd_checks <- stats.egd_checks + 1;
+            (match Tuple.Table.find_opt seen key with
+            | Some other when not (Value.equal other measure) ->
+                Error
+                  (Printf.sprintf
+                     "egd violation: %s has two measures (%s, %s) for %s"
+                     egd.Mappings.Egd.relation (Value.to_string other)
+                     (Value.to_string measure) (Tuple.to_string key))
+            | _ ->
+                Tuple.Table.replace seen key measure;
+                loop rest)
+      in
+      loop (Instance.facts instance egd.Mappings.Egd.relation)
+
+let run ?(check_egds = true) (m : Mappings.Mapping.t) source =
+  let stats = empty_stats () in
+  let target = Instance.create () in
+  List.iter (Instance.add_relation target) m.Mappings.Mapping.target;
+  (* Σst: copy the source relations into the target (the paper keeps the
+     same symbols for a relation and its copy; so do we). *)
+  List.iter
+    (fun schema ->
+      let name = schema.Schema.name in
+      match Instance.schema source name with
+      | None -> ()
+      | Some _ ->
+          List.iter
+            (fun fact -> ignore (Instance.insert target name fact))
+            (Instance.facts source name))
+    m.Mappings.Mapping.source;
+  let rec loop = function
+    | [] -> Ok (target, stats)
+    | tgd :: rest -> (
+        match apply_tgd target tgd stats with
+        | Error msg ->
+            Error
+              (Printf.sprintf "chase failed on tgd [%s]: %s" (Tgd.to_string tgd)
+                 msg)
+        | Ok () ->
+            let egd_result =
+              if check_egds then
+                let rel = Tgd.target_relation tgd in
+                match
+                  List.find_opt
+                    (fun (e : Mappings.Egd.t) -> e.Mappings.Egd.relation = rel)
+                    m.Mappings.Mapping.egds
+                with
+                | Some egd -> check_egd target egd stats
+                | None -> Ok ()
+              else Ok ()
+            in
+            (match egd_result with
+            | Error msg -> Error ("chase failed: " ^ msg)
+            | Ok () -> loop rest))
+  in
+  loop m.Mappings.Mapping.t_tgds

@@ -1,0 +1,37 @@
+(** The stratified chase for extended tgds (paper, Section 4.2).
+
+    The data-exchange problem: given [M = (S, T, Σst, Σt)] and a finite
+    source instance [I], find [J] over [T] with [⟨I, J⟩ ⊨ Σst] and
+    [J ⊨ Σt].  The paper's variation of the classical chase applies the
+    statement tgds in their stratification order, completely applying
+    each before moving to the next; termination follows because all
+    tgds are full and acyclic, and failure is impossible because every
+    tgd computes the measure as a function of the dimensions — which we
+    do not assume but {e check}, by running the functionality egds on
+    the produced fact sets. *)
+
+type stats = {
+  mutable matches_examined : int;
+      (** candidate lhs assignments enumerated *)
+  mutable tuples_generated : int;  (** new facts added *)
+
+  mutable tgds_applied : int;
+  mutable egd_checks : int;  (** fact pairs compared for functionality *)
+}
+
+val empty_stats : unit -> stats
+
+val run :
+  ?check_egds:bool ->
+  Mappings.Mapping.t ->
+  Instance.t ->
+  (Instance.t * stats, string) result
+(** Solve the data exchange problem; [Error] on egd violation (chase
+    failure) or on a tgd that cannot be evaluated (a variable occurring
+    only under uninvertible terms). *)
+
+val apply_tgd : Instance.t -> Mappings.Tgd.t -> stats -> (unit, string) result
+(** Apply one tgd exhaustively against the instance (exposed for unit
+    tests). *)
+
+val check_egd : Instance.t -> Mappings.Egd.t -> stats -> (unit, string) result

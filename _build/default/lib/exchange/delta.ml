@@ -1,0 +1,401 @@
+open Matrix
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+
+type delta = { added : Instance.fact list; removed : Instance.fact list }
+
+let empty_delta = { added = []; removed = [] }
+let is_empty d = d.added = [] && d.removed = []
+
+let diff ~old_facts ~new_facts =
+  let old_set : unit Tuple.Table.t = Tuple.Table.create 64 in
+  List.iter (fun f -> Tuple.Table.replace old_set (Tuple.of_array f) ()) old_facts;
+  let new_set : unit Tuple.Table.t = Tuple.Table.create 64 in
+  List.iter (fun f -> Tuple.Table.replace new_set (Tuple.of_array f) ()) new_facts;
+  {
+    added =
+      List.filter (fun f -> not (Tuple.Table.mem old_set (Tuple.of_array f))) new_facts;
+    removed =
+      List.filter (fun f -> not (Tuple.Table.mem new_set (Tuple.of_array f))) old_facts;
+  }
+
+exception Delta_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Delta_error m)) fmt
+
+(* ----- matching helpers (generated tgds only) ----- *)
+
+type binding = (string * Value.t) list
+
+let lookup (b : binding) v = List.assoc_opt v b
+let term_value b t = Term.eval (lookup b) t
+
+(* Bind an atom's argument terms against one fact; Const args compare,
+   Var args bind (generated lhs atoms only contain Vars and Consts). *)
+let bind_atom (atom : Tgd.atom) fact : binding option =
+  let n = Array.length fact in
+  if List.length atom.Tgd.args <> n then None
+  else
+    let rec loop i binding = function
+      | [] -> Some binding
+      | Term.Var v :: rest -> (
+          match lookup binding v with
+          | Some bound ->
+              if Value.equal bound fact.(i) then loop (i + 1) binding rest
+              else None
+          | None -> loop (i + 1) ((v, fact.(i)) :: binding) rest)
+      | Term.Const c :: rest ->
+          if Value.equal c fact.(i) then loop (i + 1) binding rest else None
+      | _ ->
+          fail "incremental chase requires generated (unfused) tgds"
+    in
+    loop 0 [] atom.Tgd.args
+
+(* Facts of [atom] compatible with [binding], through an abstract
+   per-dimension lookup (current state or the old-state overlay): since
+   generated join atoms share all dimension variables, the dimension
+   prefix is fully bound and a single indexed lookup suffices. *)
+let matching_facts ~arity_of ~lookup_fact (atom : Tgd.atom) binding =
+  let arity = arity_of atom.Tgd.rel in
+  let dim_terms = List.filteri (fun i _ -> i < arity) atom.Tgd.args in
+  let dim_values = List.map (term_value binding) dim_terms in
+  if List.for_all Option.is_some dim_values then
+    match
+      lookup_fact atom.Tgd.rel (Array.of_list (List.map Option.get dim_values))
+    with
+    | Some fact -> (
+        match bind_atom atom fact with
+        | Some _ -> [ fact ]
+        | None -> [])
+    | None -> []
+  else fail "incremental chase requires generated (unfused) tgds"
+
+(* All rhs facts derivable from bindings where atom [pivot] is matched
+   against [pivot_facts] and the other atoms are resolved through
+   [lookup_fact]. *)
+let derive_with_pivot ~arity_of ~lookup_fact stats lhs (rhs : Tgd.atom) ~pivot
+    ~pivot_facts =
+  let out = ref [] in
+  let rec extend binding = function
+    | [] ->
+        let values = List.map (term_value binding) rhs.Tgd.args in
+        if List.for_all Option.is_some values then
+          out := Array.of_list (List.map Option.get values) :: !out
+    | (i, atom) :: rest ->
+        let candidates =
+          if i = pivot then
+            List.filter_map
+              (fun f -> Option.map (fun _ -> f) (bind_atom atom f))
+              pivot_facts
+          else matching_facts ~arity_of ~lookup_fact atom binding
+        in
+        List.iter
+          (fun fact ->
+            stats.Chase.matches_examined <- stats.Chase.matches_examined + 1;
+            match bind_atom atom fact with
+            | None -> ()
+            | Some b ->
+                let merged =
+                  List.fold_left
+                    (fun acc (v, value) ->
+                      match acc with
+                      | None -> None
+                      | Some bnd -> (
+                          match lookup bnd v with
+                          | Some bound ->
+                              if Value.equal bound value then Some bnd else None
+                          | None -> Some ((v, value) :: bnd)))
+                    (Some binding) b
+                in
+                (match merged with
+                | Some bnd -> extend bnd rest
+                | None -> ()))
+          candidates
+  in
+  (* Order atoms pivot-first so shared dimension variables are bound
+     before the indexed lookups of the remaining atoms. *)
+  let indexed = List.mapi (fun i a -> (i, a)) lhs in
+  let pivot_entry = List.filter (fun (i, _) -> i = pivot) indexed in
+  let others = List.filter (fun (i, _) -> i <> pivot) indexed in
+  extend [] (pivot_entry @ others);
+  !out
+
+(* ----- per-tgd incremental application ----- *)
+
+let delta_of deltas rel =
+  Option.value ~default:empty_delta (Hashtbl.find_opt deltas rel)
+
+let apply_facts instance stats target ~removed ~added =
+  let actually_removed =
+    List.filter (fun f -> Instance.remove instance target f) removed
+  in
+  let actually_added =
+    List.filter
+      (fun f ->
+        let fresh = Instance.insert instance target f in
+        if fresh then
+          stats.Chase.tuples_generated <- stats.Chase.tuples_generated + 1;
+        fresh)
+      added
+  in
+  { added = actually_added; removed = actually_removed }
+
+(* Old-state lookup for a relation: its recorded delta overlays the
+   current instance — removed facts are restored, added keys hidden.
+   Correct because strata are processed in order, so a relation's delta
+   is final before any consumer tgd runs. *)
+let old_lookup nu deltas =
+  let overlays : (string, Instance.fact option Tuple.Table.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let overlay rel =
+    match Hashtbl.find_opt overlays rel with
+    | Some ov -> ov
+    | None ->
+        let ov : Instance.fact option Tuple.Table.t = Tuple.Table.create 16 in
+        let d = delta_of deltas rel in
+        let arity = Schema.arity (Instance.schema_exn nu rel) in
+        let dims_of fact = Tuple.of_array (Array.sub fact 0 arity) in
+        (* added keys did not exist in the old state... *)
+        List.iter (fun f -> Tuple.Table.replace ov (dims_of f) None) d.added;
+        (* ...unless the same key also had a removed (i.e. replaced)
+           fact, whose old version wins *)
+        List.iter (fun f -> Tuple.Table.replace ov (dims_of f) (Some f)) d.removed;
+        Hashtbl.replace overlays rel ov;
+        ov
+  in
+  fun rel dims ->
+    let ov = overlay rel in
+    match Tuple.Table.find_opt ov (Tuple.of_array dims) with
+    | Some entry -> entry
+    | None -> Instance.find_by_dims nu rel dims
+
+let incr_tuple_level nu deltas stats lhs (rhs : Tgd.atom) =
+  let target = rhs.Tgd.rel in
+  let touched =
+    List.exists (fun (a : Tgd.atom) -> not (is_empty (delta_of deltas a.Tgd.rel))) lhs
+  in
+  if not touched then empty_delta
+  else begin
+    let arity_of rel = Schema.arity (Instance.schema_exn nu rel) in
+    let new_lookup rel dims = Instance.find_by_dims nu rel dims in
+    let old_lookup = old_lookup nu deltas in
+    let removed = ref [] and added = ref [] in
+    List.iteri
+      (fun i (atom : Tgd.atom) ->
+        let d = delta_of deltas atom.Tgd.rel in
+        if d.removed <> [] then
+          removed :=
+            derive_with_pivot ~arity_of ~lookup_fact:old_lookup stats lhs rhs
+              ~pivot:i ~pivot_facts:d.removed
+            @ !removed;
+        if d.added <> [] then
+          added :=
+            derive_with_pivot ~arity_of ~lookup_fact:new_lookup stats lhs rhs
+              ~pivot:i ~pivot_facts:d.added
+            @ !added)
+      lhs;
+    apply_facts nu stats target ~removed:!removed ~added:!added
+  end
+
+let incr_aggregation nu deltas stats (source : Tgd.atom) group_by aggr
+    measure target =
+  let d = delta_of deltas source.Tgd.rel in
+  if is_empty d then empty_delta
+  else begin
+    (* group keys affected by any changed source tuple *)
+    let affected : unit Tuple.Table.t = Tuple.Table.create 16 in
+    List.iter
+      (fun fact ->
+        match bind_atom source fact with
+        | None -> ()
+        | Some binding ->
+            let key_values = List.map (term_value binding) group_by in
+            if List.for_all Option.is_some key_values then
+              Tuple.Table.replace affected
+                (Tuple.of_list (List.map Option.get key_values))
+                ())
+      (d.added @ d.removed);
+    (* current target rows for the affected keys must be replaced *)
+    let n_keys = List.length group_by in
+    let removed =
+      List.filter
+        (fun fact ->
+          Tuple.Table.mem affected (Tuple.of_array (Array.sub fact 0 n_keys)))
+        (Instance.facts_unsorted nu target)
+    in
+    (* recompute affected groups from the new source *)
+    let groups : float list ref Tuple.Table.t = Tuple.Table.create 16 in
+    List.iter
+      (fun fact ->
+        stats.Chase.matches_examined <- stats.Chase.matches_examined + 1;
+        match bind_atom source fact with
+        | None -> ()
+        | Some binding -> (
+            let key_values = List.map (term_value binding) group_by in
+            if List.for_all Option.is_some key_values then
+              let key = Tuple.of_list (List.map Option.get key_values) in
+              if Tuple.Table.mem affected key then
+                match Option.bind (lookup binding measure) Value.to_float with
+                | Some m -> (
+                    match Tuple.Table.find_opt groups key with
+                    | Some bag -> bag := m :: !bag
+                    | None -> Tuple.Table.replace groups key (ref [ m ]))
+                | None -> ()))
+      (Instance.facts nu source.Tgd.rel);
+    let added =
+      Tuple.Table.fold
+        (fun key bag acc ->
+          let result = Stats.Aggregate.apply aggr (List.rev !bag) in
+          if Float.is_nan result then acc
+          else
+            Array.of_list (Tuple.to_list key @ [ Value.of_float result ]) :: acc)
+        groups []
+    in
+    apply_facts nu stats target ~removed ~added
+  end
+
+let incr_table_fn nu deltas stats mapping fn params source target =
+  let d = delta_of deltas source in
+  if is_empty d then empty_delta
+  else begin
+    let schema = Mappings.Mapping.target_schema_exn mapping source in
+    let arity = Schema.arity schema in
+    let temporal_idx =
+      let rec find i =
+        if i >= arity then None
+        else if Domain.is_temporal schema.Schema.dims.(i).Schema.dim_domain then
+          Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let slice_idxs =
+      Array.of_list
+        (List.filter (fun i -> Some i <> temporal_idx) (List.init arity Fun.id))
+    in
+    let slice_of fact =
+      Tuple.project (Tuple.of_array (Array.sub fact 0 arity)) slice_idxs
+    in
+    let affected : unit Tuple.Table.t = Tuple.Table.create 8 in
+    List.iter
+      (fun fact -> Tuple.Table.replace affected (slice_of fact) ())
+      (d.added @ d.removed);
+    (* old target facts of the affected slices *)
+    let removed =
+      List.filter (fun f -> Tuple.Table.mem affected (slice_of f))
+        (Instance.facts_unsorted nu target)
+    in
+    (* recompute those slices from the new source *)
+    let cube = Cube.create schema in
+    List.iter
+      (fun fact ->
+        stats.Chase.matches_examined <- stats.Chase.matches_examined + 1;
+        if Tuple.Table.mem affected (slice_of fact) then
+          Cube.set cube
+            (Tuple.of_array (Array.sub fact 0 arity))
+            fact.(arity))
+      (Instance.facts_unsorted nu source);
+    let op =
+      match Ops.Blackbox.find fn with
+      | Some op -> op
+      | None -> fail "unknown black-box operator %s" fn
+    in
+    match Ops.Blackbox.apply_cube op ~params cube with
+    | Error msg -> fail "%s" msg
+    | Ok result ->
+        let added =
+          Cube.fold (fun k v acc -> Tuple.append k v :: acc) result []
+        in
+        apply_facts nu stats target ~removed ~added
+  end
+
+let incr_outer nu deltas stats mapping (left : Tgd.atom)
+    (right : Tgd.atom) op default target =
+  let dl = delta_of deltas left.Tgd.rel and dr = delta_of deltas right.Tgd.rel in
+  if is_empty dl && is_empty dr then empty_delta
+  else begin
+    let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+    let n = Schema.arity target_schema in
+    let key_of fact = Array.sub fact 0 n in
+    let affected : unit Tuple.Table.t = Tuple.Table.create 16 in
+    List.iter
+      (fun fact -> Tuple.Table.replace affected (Tuple.of_array (key_of fact)) ())
+      (dl.added @ dl.removed @ dr.added @ dr.removed);
+    let removed =
+      List.filter
+        (fun f -> Tuple.Table.mem affected (Tuple.of_array (key_of f)))
+        (Instance.facts_unsorted nu target)
+    in
+    let added =
+      Tuple.Table.fold
+        (fun key () acc ->
+          stats.Chase.matches_examined <- stats.Chase.matches_examined + 1;
+          let dims = Tuple.to_array key in
+          let side rel = Instance.find_by_dims nu rel dims in
+          match (side left.Tgd.rel, side right.Tgd.rel) with
+          | None, None -> acc
+          | fl, fr -> (
+              let measure = function
+                | Some fact -> (
+                    match Value.to_float fact.(n) with
+                    | Some f -> f
+                    | None -> default)
+                | None -> default
+              in
+              match Ops.Binop.eval op (measure fl) (measure fr) with
+              | Some result ->
+                  Array.append dims [| Value.of_float result |] :: acc
+              | None -> acc))
+        affected []
+    in
+    apply_facts nu stats target ~removed ~added
+  end
+
+(* ----- the driver ----- *)
+
+let run_incremental ?(in_place = false) (m : Mappings.Mapping.t) ~base ~source =
+  let stats = Chase.empty_stats () in
+  let nu = if in_place then base else Instance.copy base in
+  let deltas : (string, delta) Hashtbl.t = Hashtbl.create 16 in
+  try
+    (* refresh the source relations and record their deltas *)
+    List.iter
+      (fun schema ->
+        let name = schema.Schema.name in
+        let old_facts = Instance.facts_unsorted nu name in
+        let new_facts =
+          match Instance.schema source name with
+          | Some _ -> Instance.facts_unsorted source name
+          | None -> []
+        in
+        let d = diff ~old_facts ~new_facts in
+        if not (is_empty d) then begin
+          List.iter (fun f -> ignore (Instance.remove nu name f)) d.removed;
+          List.iter (fun f -> ignore (Instance.insert nu name f)) d.added;
+          Hashtbl.replace deltas name d
+        end)
+      m.Mappings.Mapping.source;
+    (* propagate, stratum by stratum *)
+    List.iter
+      (fun tgd ->
+        let d =
+          match tgd with
+          | Tgd.Tuple_level { lhs; rhs } -> incr_tuple_level nu deltas stats lhs rhs
+          | Tgd.Aggregation { source = src; group_by; aggr; measure; target } ->
+              incr_aggregation nu deltas stats src group_by aggr measure target
+          | Tgd.Table_fn { fn; params; source = src; target } ->
+              incr_table_fn nu deltas stats m fn params src target
+          | Tgd.Outer_combine { left; right; op; default; target } ->
+              incr_outer nu deltas stats m left right op default target
+        in
+        stats.Chase.tgds_applied <- stats.Chase.tgds_applied + 1;
+        if not (is_empty d) then
+          Hashtbl.replace deltas (Tgd.target_relation tgd) d)
+      m.Mappings.Mapping.t_tgds;
+    Ok (nu, stats)
+  with
+  | Delta_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let affected_of_stats (stats : Chase.stats) = stats.Chase.tuples_generated

@@ -1,0 +1,37 @@
+(** Incremental (delta) chase: tuple-level change propagation.
+
+    The determination engine (paper, Section 6) invalidates whole cubes
+    when elementary data changes; statistical revisions, however,
+    usually touch a handful of tuples.  This module maintains a
+    data-exchange solution under such revisions: given the previous
+    solution and the new source instance, it re-derives only the facts
+    whose derivations involve changed tuples — semi-naive evaluation
+    adapted to the extended tgds (affected join bindings for
+    tuple-level tgds, affected groups for aggregations, affected slices
+    for black boxes, affected keys for outer combines).
+
+    Requires the generated (unfused) mapping: generated tgds give every
+    target fact a unique derivation (that is what the functionality
+    egds certify), so deletion never needs counting. *)
+
+type delta = { added : Instance.fact list; removed : Instance.fact list }
+
+val diff : old_facts:Instance.fact list -> new_facts:Instance.fact list -> delta
+
+val run_incremental :
+  ?in_place:bool ->
+  Mappings.Mapping.t ->
+  base:Instance.t ->
+  source:Instance.t ->
+  (Instance.t * Chase.stats, string) result
+(** [base] is a previous solution of the data-exchange problem (as
+    produced by {!Chase.run}); [source] is the {e new} source instance
+    (full contents of every source relation).  Returns the new solution
+    — property-tested equal to a full re-chase — touching only affected
+    facts.  [stats.tuples_generated] counts re-derived facts, a measure
+    of how much work the revision actually required.  With [in_place]
+    the base instance is updated destructively (what a long-running
+    engine maintaining its solution would do) instead of copied. *)
+
+val affected_of_stats : Chase.stats -> int
+(** Convenience: facts re-derived during an incremental run. *)

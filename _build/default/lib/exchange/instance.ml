@@ -1,0 +1,139 @@
+open Matrix
+
+type fact = Value.t array
+
+type relation = {
+  schema : Schema.t;
+  store : unit Tuple.Table.t;
+  by_dims : Value.t array Tuple.Table.t;
+      (* dimension prefix -> full fact; last writer wins, which under
+         functionality (checked separately) is the only fact *)
+}
+
+type t = (string, relation) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let add_relation t schema =
+  let name = schema.Schema.name in
+  if not (Hashtbl.mem t name) then
+    Hashtbl.replace t name
+      { schema; store = Tuple.Table.create 64; by_dims = Tuple.Table.create 64 }
+
+let schema t name = Option.map (fun r -> r.schema) (Hashtbl.find_opt t name)
+
+let schema_exn t name =
+  match schema t name with
+  | Some s -> s
+  | None -> invalid_arg ("Instance.schema_exn: unknown relation " ^ name)
+
+let relations t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let relation_exn t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None -> invalid_arg ("Instance: unknown relation " ^ name)
+
+let insert t name fact =
+  let r = relation_exn t name in
+  if Array.length fact <> Schema.arity r.schema + 1 then
+    invalid_arg
+      (Printf.sprintf "Instance.insert: fact of width %d into %s"
+         (Array.length fact)
+         (Schema.to_string r.schema));
+  let key = Tuple.of_array fact in
+  if Tuple.Table.mem r.store key then false
+  else begin
+    Tuple.Table.replace r.store key ();
+    let dims =
+      Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema))
+    in
+    Tuple.Table.replace r.by_dims dims fact;
+    true
+  end
+
+let remove t name fact =
+  let r = relation_exn t name in
+  let key = Tuple.of_array fact in
+  if not (Tuple.Table.mem r.store key) then false
+  else begin
+    Tuple.Table.remove r.store key;
+    let dims = Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema)) in
+    (match Tuple.Table.find_opt r.by_dims dims with
+    | Some current when current == fact || current = fact ->
+        Tuple.Table.remove r.by_dims dims
+    | _ -> ());
+    true
+  end
+
+let mem t name fact =
+  Tuple.Table.mem (relation_exn t name).store (Tuple.of_array fact)
+
+let find_by_dims t name dims =
+  Tuple.Table.find_opt (relation_exn t name).by_dims (Tuple.of_array dims)
+
+let copy t =
+  let out = create () in
+  Hashtbl.iter
+    (fun name r ->
+      Hashtbl.replace out name
+        {
+          schema = r.schema;
+          store = Tuple.Table.copy r.store;
+          by_dims = Tuple.Table.copy r.by_dims;
+        })
+    t;
+  out
+
+let facts_unsorted t name =
+  let r = relation_exn t name in
+  Tuple.Table.fold (fun k () acc -> Tuple.to_array k :: acc) r.store []
+
+let facts t name =
+  facts_unsorted t name
+  |> List.sort (fun a b -> Tuple.compare (Tuple.of_array a) (Tuple.of_array b))
+
+let cardinality t name = Tuple.Table.length (relation_exn t name).store
+let total_facts t = Hashtbl.fold (fun _ r acc -> acc + Tuple.Table.length r.store) t 0
+
+let of_registry reg =
+  let t = create () in
+  List.iter
+    (fun name ->
+      let cube = Registry.find_exn reg name in
+      add_relation t (Cube.schema cube);
+      Cube.iter (fun k v -> ignore (insert t name (Tuple.append k v))) cube)
+    (Registry.elementary_names reg);
+  t
+
+let cube_of_relation t name =
+  let r = relation_exn t name in
+  let cube = Cube.create r.schema in
+  let n = Schema.arity r.schema in
+  List.iter
+    (fun fact ->
+      let key = Tuple.of_array (Array.sub fact 0 n) in
+      Cube.add_strict cube key fact.(n))
+    (facts t name);
+  cube
+
+let to_registry t ~elementary =
+  let reg = Registry.create () in
+  List.iter
+    (fun name ->
+      let kind =
+        if List.mem name elementary then Registry.Elementary
+        else Registry.Derived
+      in
+      Registry.add reg kind (cube_of_relation t name))
+    (relations t);
+  reg
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "%s: %d facts@," name (cardinality t name))
+    (relations t);
+  Format.fprintf ppf "@]"

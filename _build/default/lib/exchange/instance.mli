@@ -1,0 +1,58 @@
+open Matrix
+
+(** Relational instances: sets of facts.
+
+    The chase works on raw fact sets — not on the functionally keyed
+    {!Matrix.Cube} store — precisely so that egd violations {e can}
+    materialize and be detected, mirroring the paper's setting where
+    functionality is a constraint to check, not a data-structure
+    invariant. *)
+
+type fact = Value.t array
+(** Dimension values followed by the measure. *)
+
+type t
+
+val create : unit -> t
+val add_relation : t -> Schema.t -> unit
+(** Declares an empty relation; replaces nothing if it already exists. *)
+
+val schema : t -> string -> Schema.t option
+val schema_exn : t -> string -> Schema.t
+val relations : t -> string list  (** Sorted. *)
+
+val insert : t -> string -> fact -> bool
+(** [true] when the fact was new; set semantics.
+    @raise Invalid_argument on arity mismatch or unknown relation. *)
+
+val remove : t -> string -> fact -> bool
+(** [true] when the fact was present. *)
+
+val mem : t -> string -> fact -> bool
+val find_by_dims : t -> string -> Value.t array -> fact option
+(** The (unique, by functionality) fact whose dimension prefix equals
+    the given values; built on a per-relation index maintained
+    incrementally. *)
+
+val copy : t -> t
+
+val facts : t -> string -> fact list
+(** Sorted lexicographically — deterministic iteration. *)
+
+val facts_unsorted : t -> string -> fact list
+(** No ordering guarantee; avoids the sort where determinism is not
+    needed (set diffs, membership sweeps). *)
+
+val cardinality : t -> string -> int
+val total_facts : t -> int
+
+val of_registry : Registry.t -> t
+(** Source instance [I] from the elementary cubes of a registry. *)
+
+val cube_of_relation : t -> string -> Cube.t
+(** Converts a relation's facts to a cube.
+    @raise Cube.Functionality_violation if facts conflict (egd
+    violation). *)
+
+val to_registry : t -> elementary:string list -> Registry.t
+val pp : Format.formatter -> t -> unit

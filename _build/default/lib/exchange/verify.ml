@@ -1,0 +1,42 @@
+open Matrix
+
+let run_program_via_chase checked registry =
+  Result.bind (Mappings.Generate.of_checked checked) (fun generated ->
+      let source = Instance.of_registry registry in
+      match Chase.run generated.Mappings.Generate.mapping source with
+      | Error msg -> Error (Exl.Errors.make msg)
+      | Ok (solution, stats) ->
+          let elementary =
+            List.map
+              (fun s -> s.Schema.name)
+              generated.Mappings.Generate.mapping.Mappings.Mapping.source
+          in
+          Ok (Instance.to_registry solution ~elementary, stats))
+
+let equivalent ?(eps = 1e-7) checked registry =
+  let err_of e = Exl.Errors.to_string e in
+  match Exl.Interp.run checked registry with
+  | Error e -> Error ("interpreter failed: " ^ err_of e)
+  | Ok reference -> (
+      match run_program_via_chase checked registry with
+      | Error e -> Error ("chase failed: " ^ err_of e)
+      | Ok (chased, stats) ->
+          (* Compare all cubes of the original program; the chase result
+             additionally holds normalizer temporaries, which have no
+             counterpart in the reference run. *)
+          let problems = ref [] in
+          List.iter
+            (fun name ->
+              let ref_cube = Registry.find_exn reference name in
+              match Registry.find chased name with
+              | None ->
+                  problems := Printf.sprintf "missing cube %s" name :: !problems
+              | Some got ->
+                  if not (Cube.equal_data ~eps ref_cube got) then
+                    problems :=
+                      Printf.sprintf "cube %s differs: %s" name
+                        (String.concat "; " (Cube.diff_data ~eps ref_cube got))
+                      :: !problems)
+            (Registry.names reference);
+          if !problems = [] then Ok stats
+          else Error (String.concat "\n" (List.rev !problems)))

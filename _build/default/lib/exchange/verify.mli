@@ -1,0 +1,16 @@
+open Matrix
+
+(** Machine-checked Section 4.2: chase solution == program output. *)
+
+val run_program_via_chase :
+  Exl.Typecheck.checked -> Registry.t -> (Registry.t * Chase.stats, Exl.Errors.t) result
+(** Generate the schema mapping, build the data-exchange source
+    instance from the registry's elementary cubes, chase, and convert
+    the solution back into a registry. *)
+
+val equivalent :
+  ?eps:float -> Exl.Typecheck.checked -> Registry.t -> (Chase.stats, string) result
+(** Run both the reference interpreter and the chase; [Ok] when every
+    non-temporary cube coincides (up to [eps] on measures), [Error]
+    with the discrepancies otherwise.  This is the executable form of
+    the paper's equivalence theorem. *)

@@ -1,0 +1,1 @@
+lib/exl/ast.ml: Calendar Domain Float Format Hashtbl List Matrix Ops Option Printf Stats String Value

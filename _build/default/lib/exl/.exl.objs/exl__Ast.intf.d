@@ -1,0 +1,1 @@
+lib/exl/ast.mli: Format Matrix Ops Stats

@@ -1,0 +1,1 @@
+lib/exl/errors.ml: Ast Format List Printf String

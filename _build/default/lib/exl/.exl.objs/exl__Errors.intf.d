@@ -1,0 +1,1 @@
+lib/exl/errors.mli: Ast Format

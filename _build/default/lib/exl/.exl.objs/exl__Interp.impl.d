@@ -1,0 +1,1 @@
+lib/exl/interp.ml: Array Ast Calendar Cube Errors List Matrix Ops Option Printf Registry Schema Stats Tuple Typecheck Value

@@ -1,0 +1,1 @@
+lib/exl/interp.mli: Ast Cube Domain Errors Matrix Registry Typecheck Value

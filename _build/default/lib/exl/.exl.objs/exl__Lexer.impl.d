@@ -1,0 +1,1 @@
+lib/exl/lexer.ml: Ast Buffer Errors List String Token

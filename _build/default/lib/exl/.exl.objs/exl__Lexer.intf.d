@@ -1,0 +1,1 @@
+lib/exl/lexer.mli: Errors Token

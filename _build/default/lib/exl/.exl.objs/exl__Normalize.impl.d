@@ -1,0 +1,1 @@
+lib/exl/normalize.ml: Ast Hashtbl List Ops Option Pretty Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/exl/normalize.mli: Ast Errors Typecheck

@@ -1,0 +1,1 @@
+lib/exl/parser.ml: Array Ast Errors Lexer List Matrix Ops Token

@@ -1,0 +1,1 @@
+lib/exl/parser.mli: Ast Errors

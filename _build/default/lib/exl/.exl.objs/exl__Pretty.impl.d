@@ -1,0 +1,1 @@
+lib/exl/pretty.ml: Ast Float Format List Matrix Ops Printf String

@@ -1,0 +1,1 @@
+lib/exl/pretty.mli: Ast Format

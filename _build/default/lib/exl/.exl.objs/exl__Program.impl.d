@@ -1,0 +1,1 @@
+lib/exl/program.ml: Errors Interp Normalize Parser Result Typecheck

@@ -1,0 +1,1 @@
+lib/exl/program.mli: Errors Matrix Registry Typecheck

@@ -1,0 +1,1 @@
+lib/exl/token.ml: Ast Format Printf

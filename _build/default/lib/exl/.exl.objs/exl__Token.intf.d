@@ -1,0 +1,1 @@
+lib/exl/token.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/exl/typecheck.ml: Array Ast Domain Errors Float Hashtbl List Matrix Ops Option Printf Registry Schema Stats String Value

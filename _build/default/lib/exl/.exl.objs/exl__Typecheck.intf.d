@@ -1,0 +1,1 @@
+lib/exl/typecheck.mli: Ast Domain Errors Matrix Registry Schema

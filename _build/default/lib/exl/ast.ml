@@ -1,0 +1,172 @@
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+let no_pos = { line = 0; col = 0 }
+
+type dim_item = { src : string; fn : string option; alias : string option }
+
+let dim_item_result_name d =
+  match d.alias with Some a -> a | None -> d.src
+
+type expr =
+  | Number of float
+  | Cube_ref of string
+  | Binop of Ops.Binop.t * expr * expr
+  | Neg of expr
+  | Call of call
+
+and call = {
+  fn : string;
+  args : expr list;
+  group_by : dim_item list option;
+  conditions : (string * Matrix.Value.t) list;
+  pos : pos;
+}
+
+type decl = {
+  d_name : string;
+  d_dims : (string * string) list;
+  d_measure : string option;
+  d_pos : pos;
+}
+
+type stmt = { lhs : string; rhs : expr; s_pos : pos }
+type item = Decl of decl | Stmt of stmt
+type program = item list
+
+let decls p = List.filter_map (function Decl d -> Some d | Stmt _ -> None) p
+let stmts p = List.filter_map (function Stmt s -> Some s | Decl _ -> None) p
+
+type op_class =
+  | Agg_op of Stats.Aggregate.t
+  | Scalar_op of Ops.Scalar_fn.t
+  | Blackbox_op of Ops.Blackbox.t
+  | Shift_op
+  | Filter_op
+  | Outer_op of Ops.Binop.t
+  | Unknown_op
+
+let outer_op_of_name = function
+  | "vadd" -> Some Ops.Binop.Add
+  | "vsub" -> Some Ops.Binop.Sub
+  | "vmul" -> Some Ops.Binop.Mul
+  | "vdiv" -> Some Ops.Binop.Div
+  | _ -> None
+
+let classify fn =
+  if String.lowercase_ascii fn = "shift" then Shift_op
+  else if String.lowercase_ascii fn = "filter" then Filter_op
+  else
+    match outer_op_of_name (String.lowercase_ascii fn) with
+    | Some op -> Outer_op op
+    | None -> (
+        match Stats.Aggregate.of_string fn with
+        | Some a -> Agg_op a
+        | None -> (
+            match Ops.Scalar_fn.find fn with
+            | Some s -> Scalar_op s
+            | None -> (
+                match Ops.Blackbox.find fn with
+                | Some b -> Blackbox_op b
+                | None -> Unknown_op)))
+
+let cube_refs e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      out := n :: !out
+    end
+  in
+  let rec go e =
+    match e with
+    | Number _ -> ()
+    | Cube_ref n -> add n
+    | Binop (_, a, b) ->
+        go a;
+        go b
+    | Neg a -> go a
+    | Call c -> (
+        match (classify c.fn, c.args) with
+        | Shift_op, operand :: _rest ->
+            (* shift(e, [dim,] k): the dimension name parses as a
+               Cube_ref but is not a cube reference. *)
+            go operand
+        | _ -> List.iter go c.args)
+  in
+  go e;
+  List.rev !out
+
+let as_number = function
+  | Number f -> Some f
+  | Neg (Number f) -> Some (-.f)
+  | Cube_ref _ | Binop _ | Neg _ | Call _ -> None
+
+let split_call_args c =
+  let rec loop params operand = function
+    | [] -> Ok (List.rev params, operand)
+    | e :: rest -> (
+        match as_number e with
+        | Some f -> loop (f :: params) operand rest
+        | None -> (
+            match operand with
+            | None -> loop params (Some e) rest
+            | Some _ ->
+                Error
+                  (Printf.sprintf
+                     "%s: more than one cube operand among the arguments" c.fn)))
+  in
+  loop [] None c.args
+
+let equal_dim_item (a : dim_item) (b : dim_item) =
+  a.src = b.src && a.fn = b.fn && a.alias = b.alias
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Number x, Number y -> Float.equal x y
+  | Cube_ref x, Cube_ref y -> x = y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Neg x, Neg y -> equal_expr x y
+  | Call c1, Call c2 ->
+      c1.fn = c2.fn
+      && List.length c1.args = List.length c2.args
+      && List.for_all2 equal_expr c1.args c2.args
+      && Option.equal (List.equal equal_dim_item) c1.group_by c2.group_by
+      && List.equal
+           (fun (d1, v1) (d2, v2) -> d1 = d2 && Matrix.Value.equal v1 v2)
+           c1.conditions c2.conditions
+  | (Number _ | Cube_ref _ | Binop _ | Neg _ | Call _), _ -> false
+
+let equal_item a b =
+  match (a, b) with
+  | Decl d1, Decl d2 ->
+      d1.d_name = d2.d_name && d1.d_dims = d2.d_dims
+      && d1.d_measure = d2.d_measure
+  | Stmt s1, Stmt s2 -> s1.lhs = s2.lhs && equal_expr s1.rhs s2.rhs
+  | (Decl _ | Stmt _), _ -> false
+
+let equal_program a b =
+  List.length a = List.length b && List.for_all2 equal_item a b
+
+let coerce_literal domain literal =
+  let open Matrix in
+  match (literal, domain) with
+  | v, Domain.Any -> Some v
+  | Value.String _, Domain.String -> Some literal
+  | Value.Float f, Domain.Float -> Some (Value.Float f)
+  | Value.Float f, Domain.Int when Float.is_integer f ->
+      Some (Value.Int (int_of_float f))
+  | Value.Int _, Domain.Int -> Some literal
+  | Value.Int i, Domain.Float -> Some (Value.Float (float_of_int i))
+  | Value.String s, Domain.Date -> Option.map (fun d -> Value.Date d) (Calendar.Date.of_string s)
+  | Value.String s, Domain.Period freq -> (
+      match Calendar.Period.of_string s with
+      | Some p -> (
+          match freq with
+          | None -> Some (Value.Period p)
+          | Some f when Calendar.Period.freq p = f -> Some (Value.Period p)
+          | Some _ -> None)
+      | None -> None)
+  | _ -> None

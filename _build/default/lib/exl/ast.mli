@@ -1,0 +1,113 @@
+(** Abstract syntax of EXL programs.
+
+    An EXL program is a sequence of cube declarations (elementary cubes,
+    the base data) and statements [C := expr] defining derived cubes
+    (paper, Section 3).  The grammar implemented here:
+
+    {v
+    program  ::= item*
+    item     ::= decl | stmt
+    decl     ::= "cube" ID "(" ID ":" TYPE ("," ID ":" TYPE)* ")" [":" TYPE] ";"
+    stmt     ::= ID ":=" expr ";"
+    expr     ::= expr ("+"|"-") expr | expr ("*"|"/") expr | expr "^" expr
+               | "-" expr | NUMBER | ID | call | "(" expr ")"
+    call     ::= ID "(" expr ("," expr)* ["," groupby] ")"
+               | ID "(" groupby ")"
+    groupby  ::= "group" "by" dim ("," dim)*
+    dim      ::= ID ["as" ID] | ID "(" ID ")" ["as" ID]
+    v}
+
+    Operator names are resolved against the shared catalogues
+    ([Ops.Scalar_fn], [Ops.Blackbox], [Stats.Aggregate], [shift]) by
+    [classify]; this keeps the AST uniform while the type checker
+    assigns meaning. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+val no_pos : pos
+
+type dim_item = {
+  src : string;  (** operand dimension the item refers to *)
+  fn : string option;  (** dimension function, e.g. [quarter] *)
+  alias : string option;  (** [as] name for the result dimension *)
+}
+
+val dim_item_result_name : dim_item -> string
+(** The name of the produced dimension: the alias when given, else the
+    source name. *)
+
+type expr =
+  | Number of float
+  | Cube_ref of string
+  | Binop of Ops.Binop.t * expr * expr
+  | Neg of expr
+  | Call of call
+
+and call = {
+  fn : string;
+  args : expr list;
+  group_by : dim_item list option;
+  conditions : (string * Matrix.Value.t) list;
+      (** [filter] selection conditions [dim = literal]; empty for all
+          other operators.  Literals are [String] or [Float] as parsed;
+          consumers coerce them to the dimension's domain with
+          {!coerce_literal}. *)
+  pos : pos;
+}
+
+type decl = {
+  d_name : string;
+  d_dims : (string * string) list;  (** dimension name, domain keyword *)
+  d_measure : string option;  (** measure domain keyword; default float *)
+  d_pos : pos;
+}
+
+type stmt = { lhs : string; rhs : expr; s_pos : pos }
+type item = Decl of decl | Stmt of stmt
+type program = item list
+
+val decls : program -> decl list
+val stmts : program -> stmt list
+
+(** How a [Call]'s function name resolves against the operator
+    catalogues. *)
+type op_class =
+  | Agg_op of Stats.Aggregate.t
+  | Scalar_op of Ops.Scalar_fn.t
+  | Blackbox_op of Ops.Blackbox.t
+  | Shift_op
+  | Filter_op  (** selection: [filter(e, dim = literal, ...)] *)
+  | Outer_op of Ops.Binop.t
+      (** default-value vectorial variant: [vadd(A, B)], [vsub], [vmul],
+          [vdiv], optionally with an explicit default as a third
+          argument ([vadd(A, B, 0)]). *)
+  | Unknown_op
+
+val classify : string -> op_class
+(** Resolution order: [shift], [filter], aggregation names, scalar
+    catalogue, black-box catalogue. *)
+
+val coerce_literal : Matrix.Domain.t -> Matrix.Value.t -> Matrix.Value.t option
+(** Adapt a parsed filter literal to a dimension domain: strings parse
+    into periods/dates for temporal domains, numbers narrow to [Int]
+    where required; [None] when incompatible. *)
+
+val cube_refs : expr -> string list
+(** Cube identifiers referenced, without duplicates, in first-occurrence
+    order (shift's dimension argument and group-by sources excluded). *)
+
+val as_number : expr -> float option
+(** Numeric literal, possibly under a unary minus ([-3] parses as
+    [Neg (Number 3.)]). *)
+
+val split_call_args :
+  call -> (float list * expr option, string) result
+(** Separates a call's arguments into leading/trailing numeric
+    parameters and the (at most one) cube operand expression.
+    [Error] when two non-numeric arguments are present. *)
+
+val equal_expr : expr -> expr -> bool
+(** Structural equality ignoring positions. *)
+
+val equal_program : program -> program -> bool

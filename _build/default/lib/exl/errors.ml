@@ -1,0 +1,32 @@
+type t = { pos : Ast.pos option; msg : string }
+
+let make ?pos msg = { pos; msg }
+let makef ?pos fmt = Format.kasprintf (fun msg -> make ?pos msg) fmt
+
+let to_string e =
+  match e.pos with
+  | Some p -> Format.asprintf "%a: %s" Ast.pp_pos p e.msg
+  | None -> e.msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let to_string_with_source ~source e =
+  match e.pos with
+  | None -> to_string e
+  | Some p ->
+      let lines = String.split_on_char '\n' source in
+      if p.Ast.line < 1 || p.Ast.line > List.length lines then to_string e
+      else
+        let line = List.nth lines (p.Ast.line - 1) in
+        let caret = String.make (max 0 (p.Ast.col - 1)) ' ' ^ "^" in
+        Printf.sprintf "%s\n  %s\n  %s" (to_string e) line caret
+
+exception Exl_error of t
+
+let fail ?pos msg = raise (Exl_error (make ?pos msg))
+let failf ?pos fmt = Format.kasprintf (fun msg -> fail ?pos msg) fmt
+
+let protect f =
+  try Ok (f ()) with
+  | Exl_error e -> Error e
+  | Invalid_argument msg -> Error (make msg)

@@ -1,0 +1,26 @@
+(** Structured errors for the EXL front end and its consumers. *)
+
+type t = { pos : Ast.pos option; msg : string }
+
+val make : ?pos:Ast.pos -> string -> t
+val makef : ?pos:Ast.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
+val to_string : t -> string
+
+val to_string_with_source : source:string -> t -> string
+(** Renders the error with the offending source line and a caret:
+    {v
+    line 3, column 8: unknown operator frobnicate
+      B := frobnicate(A);
+           ^
+    v} *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Exl_error of t
+(** Internal escape hatch; public APIs catch it and return [result]. *)
+
+val fail : ?pos:Ast.pos -> string -> 'a
+val failf : ?pos:Ast.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val protect : (unit -> 'a) -> ('a, t) result
+(** Runs the thunk, catching [Exl_error] (and [Invalid_argument], which
+    substrate code raises on misuse) into [Error]. *)

@@ -1,0 +1,159 @@
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of s =
+  match String.lowercase_ascii s with
+  | "cube" -> Some Token.KW_CUBE
+  | "group" -> Some Token.KW_GROUP
+  | "by" -> Some Token.KW_BY
+  | "as" -> Some Token.KW_AS
+  | _ -> None
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable bol : int;  (* index of beginning of current line *)
+}
+
+let pos st = { Ast.line = st.line; col = st.i - st.bol + 1 }
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; bol = 0 } in
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok p = out := { Token.token = tok; pos = p } :: !out in
+  let peek k = if st.i + k < n then Some src.[st.i + k] else None in
+  let newline () =
+    st.line <- st.line + 1;
+    st.bol <- st.i
+  in
+  let skip_line_comment () =
+    while st.i < n && src.[st.i] <> '\n' do
+      st.i <- st.i + 1
+    done
+  in
+  let lex_number p =
+    let start = st.i in
+    while st.i < n && is_digit src.[st.i] do
+      st.i <- st.i + 1
+    done;
+    if st.i < n && src.[st.i] = '.' && (match peek 1 with Some c -> is_digit c | None -> false)
+    then begin
+      st.i <- st.i + 1;
+      while st.i < n && is_digit src.[st.i] do
+        st.i <- st.i + 1
+      done
+    end;
+    (match peek 0 with
+    | Some ('e' | 'E') ->
+        let j = ref (st.i + 1) in
+        (match if !j < n then Some src.[!j] else None with
+        | Some ('+' | '-') -> incr j
+        | _ -> ());
+        if !j < n && is_digit src.[!j] then begin
+          st.i <- !j;
+          while st.i < n && is_digit src.[st.i] do
+            st.i <- st.i + 1
+          done
+        end
+    | _ -> ());
+    let text = String.sub src start (st.i - start) in
+    match float_of_string_opt text with
+    | Some f -> emit (Token.NUMBER f) p
+    | None -> Errors.fail ~pos:p ("invalid number literal " ^ text)
+  in
+  let lex_string p =
+    st.i <- st.i + 1;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if st.i >= n then Errors.fail ~pos:p "unterminated string literal"
+      else
+        match src.[st.i] with
+        | '"' -> st.i <- st.i + 1
+        | '\\' when st.i + 1 < n ->
+            (match src.[st.i + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> Errors.failf ~pos:p "unknown escape sequence \\%c" c);
+            st.i <- st.i + 2;
+            loop ()
+        | '\n' -> Errors.fail ~pos:p "unterminated string literal"
+        | c ->
+            Buffer.add_char buf c;
+            st.i <- st.i + 1;
+            loop ()
+    in
+    loop ();
+    emit (Token.STRING (Buffer.contents buf)) p
+  in
+  let lex_ident p =
+    let start = st.i in
+    while st.i < n && is_ident_char src.[st.i] do
+      st.i <- st.i + 1
+    done;
+    let text = String.sub src start (st.i - start) in
+    match keyword_of text with
+    | Some kw -> emit kw p
+    | None -> emit (Token.IDENT text) p
+  in
+  let step () =
+    let p = pos st in
+    match src.[st.i] with
+    | ' ' | '\t' | '\r' -> st.i <- st.i + 1
+    | '\n' ->
+        st.i <- st.i + 1;
+        newline ()
+    | '#' -> skip_line_comment ()
+    | '-' when peek 1 = Some '-' -> skip_line_comment ()
+    | '+' ->
+        emit Token.PLUS p;
+        st.i <- st.i + 1
+    | '-' ->
+        emit Token.MINUS p;
+        st.i <- st.i + 1
+    | '*' ->
+        emit Token.STAR p;
+        st.i <- st.i + 1
+    | '/' ->
+        emit Token.SLASH p;
+        st.i <- st.i + 1
+    | '^' ->
+        emit Token.CARET p;
+        st.i <- st.i + 1
+    | '(' ->
+        emit Token.LPAREN p;
+        st.i <- st.i + 1
+    | ')' ->
+        emit Token.RPAREN p;
+        st.i <- st.i + 1
+    | ',' ->
+        emit Token.COMMA p;
+        st.i <- st.i + 1
+    | ';' ->
+        emit Token.SEMI p;
+        st.i <- st.i + 1
+    | ':' when peek 1 = Some '=' ->
+        emit Token.ASSIGN p;
+        st.i <- st.i + 2
+    | ':' ->
+        emit Token.COLON p;
+        st.i <- st.i + 1
+    | '=' ->
+        emit Token.EQUAL p;
+        st.i <- st.i + 1
+    | '"' -> lex_string p
+    | c when is_digit c -> lex_number p
+    | c when is_ident_start c -> lex_ident p
+    | c -> Errors.failf ~pos:p "unexpected character %C" c
+  in
+  Errors.protect (fun () ->
+      while st.i < n do
+        step ()
+      done;
+      emit Token.EOF (pos st);
+      List.rev !out)

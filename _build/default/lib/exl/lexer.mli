@@ -1,0 +1,9 @@
+(** Hand-written lexer for EXL.
+
+    Comments run from [--] or [#] to end of line.  Keywords ([cube],
+    [group], [by], [as]) are case-insensitive; identifiers are
+    case-sensitive (cube names are uppercase by Bank convention but
+    this is not enforced). *)
+
+val tokenize : string -> (Token.located list, Errors.t) result
+(** The resulting list always ends with [EOF]. *)

@@ -1,0 +1,187 @@
+let is_atom = function
+  | Ast.Number _ | Ast.Cube_ref _ -> true
+  | Ast.Binop _ | Ast.Neg _ | Ast.Call _ -> false
+
+let call_operands (c : Ast.call) =
+  (* The shift dimension argument is positional, not an operand. *)
+  match (Ast.classify c.fn, c.args) with
+  | Ast.Shift_op, [ operand; _ ] | Ast.Shift_op, [ operand; _; _ ] ->
+      [ operand ]
+  | _ -> c.args
+
+let is_simple = function
+  | (Ast.Number _ | Ast.Cube_ref _) as a -> is_atom a
+  | Ast.Binop (_, a, b) -> is_atom a && is_atom b
+  | Ast.Neg a -> is_atom a
+  | Ast.Call c -> List.for_all is_atom (call_operands c)
+
+let is_normal p =
+  List.for_all (fun (s : Ast.stmt) -> is_simple s.rhs) (Ast.stmts p)
+
+(* Constant folding: collapse numeric subexpressions before
+   flattening, so `C := K * 60 * 60` yields one tgd, not two. Undefined
+   constant operations (1/0) are left in place so the runtime error
+   surfaces where the user wrote it. *)
+let rec fold_constants expr =
+  match expr with
+  | Ast.Number _ | Ast.Cube_ref _ -> expr
+  | Ast.Neg e -> (
+      match fold_constants e with
+      | Ast.Number f -> Ast.Number (-.f)
+      | e' -> Ast.Neg e')
+  | Ast.Binop (op, a, b) -> (
+      let a = fold_constants a and b = fold_constants b in
+      match (a, b) with
+      | Ast.Number x, Ast.Number y -> (
+          match Ops.Binop.eval op x y with
+          | Some r -> Ast.Number r
+          | None -> Ast.Binop (op, a, b))
+      | _ -> Ast.Binop (op, a, b))
+  | Ast.Call c -> (
+      let args = List.map fold_constants c.Ast.args in
+      let folded = Ast.Call { c with Ast.args } in
+      match Ast.classify c.Ast.fn with
+      | Ast.Scalar_op fn -> (
+          (* all-constant scalar application folds to its value *)
+          let numbers = List.map Ast.as_number args in
+          if List.for_all Option.is_some numbers then
+            match List.rev (List.map Option.get numbers) with
+            | x :: rev_params -> (
+                match Ops.Scalar_fn.apply fn ~params:(List.rev rev_params) x with
+                | Some r -> Ast.Number r
+                | None -> folded)
+            | [] -> folded
+          else folded)
+      | _ -> folded)
+
+let fold_program p =
+  List.map
+    (function
+      | Ast.Decl _ as d -> d
+      | Ast.Stmt s -> Ast.Stmt { s with Ast.rhs = fold_constants s.Ast.rhs })
+    p
+
+let used_names p =
+  let names = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Ast.Decl d -> Hashtbl.replace names d.d_name ()
+      | Ast.Stmt s -> Hashtbl.replace names s.lhs ())
+    p;
+  names
+
+(* Temporaries are <lhs>__<n>; the numbering is global across the
+   program so names stay unique even when one lhs prefixes another. *)
+let temp_re_matches name =
+  match String.rindex_opt name '_' with
+  | Some i when i >= 1 && name.[i - 1] = '_' ->
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      suffix <> "" && String.for_all (fun c -> c >= '0' && c <= '9') suffix
+      && i >= 2
+  | _ -> false
+
+let is_temp = temp_re_matches
+
+let temp_base name =
+  if not (temp_re_matches name) then name
+  else
+    match String.rindex_opt name '_' with
+    | Some i -> String.sub name 0 (i - 1)
+    | None -> name
+
+let program p =
+  let p = fold_program p in
+  let names = used_names p in
+  let counter = ref 0 in
+  let fresh lhs =
+    incr counter;
+    let rec try_name () =
+      let candidate = Printf.sprintf "%s__%d" lhs !counter in
+      if Hashtbl.mem names candidate then begin
+        incr counter;
+        try_name ()
+      end
+      else begin
+        Hashtbl.replace names candidate ();
+        candidate
+      end
+    in
+    try_name ()
+  in
+  let rewrite_stmt (s : Ast.stmt) =
+    let emitted = ref [] in
+    let emit lhs rhs =
+      emitted := { Ast.lhs; rhs; s_pos = s.s_pos } :: !emitted
+    in
+    (* Flatten an expression to an atom, emitting temp statements. *)
+    let rec atomize e =
+      if is_atom e then e
+      else
+        let simple = simplify e in
+        let name = fresh s.lhs in
+        emit name simple;
+        Ast.Cube_ref name
+    (* Make one operator application whose operands are atoms. *)
+    and simplify e =
+      match e with
+      | Ast.Number _ | Ast.Cube_ref _ -> e
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, atomize a, atomize b)
+      | Ast.Neg a -> Ast.Neg (atomize a)
+      | Ast.Call c ->
+          let args =
+            match (Ast.classify c.fn, c.args) with
+            | Ast.Shift_op, [ operand; k ] -> [ atomize operand; k ]
+            | Ast.Shift_op, [ operand; d; k ] -> [ atomize operand; d; k ]
+            | _ -> List.map atomize c.args
+          in
+          Ast.Call { c with args }
+    in
+    let final_rhs = if is_simple s.rhs then s.rhs else simplify s.rhs in
+    List.rev ({ s with Ast.rhs = final_rhs } :: !emitted)
+  in
+  List.concat_map
+    (function
+      | Ast.Decl _ as d -> [ d ]
+      | Ast.Stmt s -> List.map (fun s -> Ast.Stmt s) (rewrite_stmt s))
+    p
+
+(* Common-subexpression elimination over the normalized program: when
+   two auxiliary statements compute the same simple expression (e.g. a
+   statement using shift(C, 1) twice yields two identical shift temps),
+   keep the first and rewrite references to the rest.  Only normalizer
+   temporaries are folded — user-visible cubes always materialize. *)
+let cse normalized =
+  let alias : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let resolve name =
+    match Hashtbl.find_opt alias name with Some a -> a | None -> name
+  in
+  let rec rewrite expr =
+    match expr with
+    | Ast.Number _ -> expr
+    | Ast.Cube_ref n -> Ast.Cube_ref (resolve n)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rewrite a, rewrite b)
+    | Ast.Neg a -> Ast.Neg (rewrite a)
+    | Ast.Call c -> Ast.Call { c with Ast.args = List.map rewrite c.Ast.args }
+  in
+  (* key: the printed form of the rewritten rhs (positions ignored) *)
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (function
+      | Ast.Decl _ as item -> Some item
+      | Ast.Stmt s ->
+          let rhs = rewrite s.Ast.rhs in
+          let keep = Some (Ast.Stmt { s with Ast.rhs }) in
+          if not (is_temp s.Ast.lhs) then keep
+          else begin
+            let key = Pretty.expr_to_string rhs in
+            match Hashtbl.find_opt seen key with
+            | Some existing ->
+                Hashtbl.replace alias s.Ast.lhs existing;
+                None
+            | None ->
+                Hashtbl.replace seen key s.Ast.lhs;
+                keep
+          end)
+    normalized
+
+let checked (c : Typecheck.checked) = Typecheck.check (cse (program c.program))

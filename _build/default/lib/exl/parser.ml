@@ -1,0 +1,235 @@
+type state = { tokens : Token.located array; mutable i : int }
+
+let current st = st.tokens.(st.i)
+let peek_token st = (current st).Token.token
+let pos st = (current st).Token.pos
+let advance st = if st.i < Array.length st.tokens - 1 then st.i <- st.i + 1
+
+let expect st tok =
+  if peek_token st = tok then advance st
+  else
+    Errors.failf ~pos:(pos st) "expected %s but found %s"
+      (Token.to_string tok)
+      (Token.to_string (peek_token st))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | other ->
+      Errors.failf ~pos:(pos st) "expected an identifier but found %s"
+        (Token.to_string other)
+
+(* dim ::= ID ["as" ID] | ID "(" ID ")" ["as" ID] *)
+let parse_dim_item st =
+  let first = expect_ident st in
+  let fn, src =
+    if peek_token st = Token.LPAREN then begin
+      advance st;
+      let src = expect_ident st in
+      expect st Token.RPAREN;
+      (Some first, src)
+    end
+    else (None, first)
+  in
+  let alias =
+    if peek_token st = Token.KW_AS then begin
+      advance st;
+      Some (expect_ident st)
+    end
+    else None
+  in
+  { Ast.src; fn; alias }
+
+let parse_group_by st =
+  expect st Token.KW_GROUP;
+  expect st Token.KW_BY;
+  let rec loop acc =
+    let item = parse_dim_item st in
+    if peek_token st = Token.COMMA then begin
+      advance st;
+      loop (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  loop []
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match binop_of (peek_token st) with
+  | Some op when Ops.Binop.precedence op >= min_prec ->
+      advance st;
+      let next_min =
+        if Ops.Binop.is_right_assoc op then Ops.Binop.precedence op
+        else Ops.Binop.precedence op + 1
+      in
+      let rhs = parse_expr_prec st next_min in
+      climb st (Ast.Binop (op, lhs, rhs)) min_prec
+  | _ -> lhs
+
+and binop_of = function
+  | Token.PLUS -> Some Ops.Binop.Add
+  | Token.MINUS -> Some Ops.Binop.Sub
+  | Token.STAR -> Some Ops.Binop.Mul
+  | Token.SLASH -> Some Ops.Binop.Div
+  | Token.CARET -> Some Ops.Binop.Pow
+  | _ -> None
+
+and parse_unary st =
+  match peek_token st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let p = pos st in
+  match peek_token st with
+  | Token.NUMBER f ->
+      advance st;
+      Ast.Number f
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr_prec st 1 in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT name ->
+      advance st;
+      if peek_token st = Token.LPAREN then begin
+        advance st;
+        parse_call st name p
+      end
+      else Ast.Cube_ref name
+  | other ->
+      Errors.failf ~pos:p "expected an expression but found %s"
+        (Token.to_string other)
+
+(* call arguments: expressions, filter conditions (IDENT = literal),
+   optionally terminated by a group-by. *)
+and parse_call st fn call_pos =
+  let args = ref [] and group_by = ref None and conditions = ref [] in
+  let next_is_condition () =
+    match peek_token st with
+    | Token.IDENT _ ->
+        st.i + 1 < Array.length st.tokens
+        && st.tokens.(st.i + 1).Token.token = Token.EQUAL
+    | _ -> false
+  in
+  let parse_condition () =
+    let dim = expect_ident st in
+    expect st Token.EQUAL;
+    let literal =
+      match peek_token st with
+      | Token.STRING text ->
+          advance st;
+          Matrix.Value.String text
+      | Token.NUMBER f ->
+          advance st;
+          Matrix.Value.Float f
+      | Token.MINUS ->
+          advance st;
+          (match peek_token st with
+          | Token.NUMBER f ->
+              advance st;
+              Matrix.Value.Float (-.f)
+          | other ->
+              Errors.failf ~pos:(pos st)
+                "expected a number after - in a condition, found %s"
+                (Token.to_string other))
+      | other ->
+          Errors.failf ~pos:(pos st)
+            "expected a literal after %s =, found %s" dim
+            (Token.to_string other)
+    in
+    conditions := (dim, literal) :: !conditions
+  in
+  let rec loop () =
+    (match peek_token st with
+    | Token.KW_GROUP -> group_by := Some (parse_group_by st)
+    | _ when next_is_condition () -> parse_condition ()
+    | _ -> args := parse_expr_prec st 1 :: !args);
+    match peek_token st with
+    | Token.COMMA when !group_by = None ->
+        advance st;
+        loop ()
+    | Token.COMMA ->
+        Errors.fail ~pos:(pos st) "group by must be the last clause of a call"
+    | _ -> ()
+  in
+  if peek_token st <> Token.RPAREN then loop ();
+  expect st Token.RPAREN;
+  Ast.Call
+    {
+      fn;
+      args = List.rev !args;
+      group_by = !group_by;
+      conditions = List.rev !conditions;
+      pos = call_pos;
+    }
+
+(* decl ::= "cube" ID "(" ID ":" TYPE ("," ID ":" TYPE)* ")" [":" TYPE] ";" *)
+let parse_decl st =
+  let d_pos = pos st in
+  expect st Token.KW_CUBE;
+  let d_name = expect_ident st in
+  expect st Token.LPAREN;
+  let rec dims acc =
+    let dim = expect_ident st in
+    expect st Token.COLON;
+    let dom = expect_ident st in
+    let acc = (dim, dom) :: acc in
+    if peek_token st = Token.COMMA then begin
+      advance st;
+      dims acc
+    end
+    else List.rev acc
+  in
+  let d_dims = if peek_token st = Token.RPAREN then [] else dims [] in
+  expect st Token.RPAREN;
+  let d_measure =
+    if peek_token st = Token.COLON then begin
+      advance st;
+      Some (expect_ident st)
+    end
+    else None
+  in
+  expect st Token.SEMI;
+  { Ast.d_name; d_dims; d_measure; d_pos }
+
+let parse_stmt st =
+  let s_pos = pos st in
+  let lhs = expect_ident st in
+  expect st Token.ASSIGN;
+  let rhs = parse_expr_prec st 1 in
+  expect st Token.SEMI;
+  { Ast.lhs; rhs; s_pos }
+
+let parse_program st =
+  let rec loop acc =
+    match peek_token st with
+    | Token.EOF -> List.rev acc
+    | Token.KW_CUBE -> loop (Ast.Decl (parse_decl st) :: acc)
+    | _ -> loop (Ast.Stmt (parse_stmt st) :: acc)
+  in
+  loop []
+
+let with_tokens src f =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok tokens ->
+      Errors.protect (fun () ->
+          let st = { tokens = Array.of_list tokens; i = 0 } in
+          let result = f st in
+          (match peek_token st with
+          | Token.EOF -> ()
+          | other ->
+              Errors.failf ~pos:(pos st) "unexpected %s after the end of input"
+                (Token.to_string other));
+          result)
+
+let parse src = with_tokens src parse_program
+let parse_expr src = with_tokens src (fun st -> parse_expr_prec st 1)

@@ -1,0 +1,5 @@
+(** Recursive-descent parser for EXL (grammar in {!Ast}). *)
+
+val parse : string -> (Ast.program, Errors.t) result
+val parse_expr : string -> (Ast.expr, Errors.t) result
+(** Parses a single expression (the whole input must be consumed). *)

@@ -1,0 +1,12 @@
+(** EXL program printer.
+
+    Produces concrete syntax that re-parses to the same AST
+    ([Parser.parse (Pretty.program_to_string p)] = [p] up to positions);
+    this round-trip is property-tested. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val decl_to_string : Ast.decl -> string
+val program_to_string : Ast.program -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

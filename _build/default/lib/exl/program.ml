@@ -1,0 +1,15 @@
+let load source = Result.bind (Parser.parse source) Typecheck.check
+let load_normalized source = Result.bind (load source) Normalize.checked
+
+let run_source source registry =
+  Result.bind (load source) (fun checked -> Interp.run checked registry)
+
+let load_exn source =
+  match load source with
+  | Ok c -> c
+  | Error e -> invalid_arg ("EXL: " ^ Errors.to_string e)
+
+let run_exn checked registry =
+  match Interp.run checked registry with
+  | Ok reg -> reg
+  | Error e -> invalid_arg ("EXL: " ^ Errors.to_string e)

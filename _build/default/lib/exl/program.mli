@@ -1,0 +1,18 @@
+open Matrix
+
+(** One-stop front end: parse, check, normalize, interpret. *)
+
+val load : string -> (Typecheck.checked, Errors.t) result
+(** Parse and type-check EXL source. *)
+
+val load_normalized : string -> (Typecheck.checked, Errors.t) result
+(** [load] followed by one-operator-per-statement normalization. *)
+
+val run_source : string -> Registry.t -> (Registry.t, Errors.t) result
+(** Parse, check and interpret against the given elementary data. *)
+
+val load_exn : string -> Typecheck.checked
+(** @raise Invalid_argument with the rendered error. Convenience for
+    examples and benches. *)
+
+val run_exn : Typecheck.checked -> Registry.t -> Registry.t

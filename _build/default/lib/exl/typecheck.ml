@@ -1,0 +1,372 @@
+open Matrix
+
+type ty = Scalar_ty | Cube_ty of (string * Domain.t) list
+
+let ty_to_string = function
+  | Scalar_ty -> "scalar"
+  | Cube_ty dims ->
+      "cube("
+      ^ String.concat ", "
+          (List.map
+             (fun (n, d) -> Printf.sprintf "%s: %s" n (Domain.to_string d))
+             dims)
+      ^ ")"
+
+module Env = struct
+  type t = {
+    table : (string, Schema.t * Registry.kind) Hashtbl.t;
+    mutable order : string list;  (* reverse insertion order *)
+  }
+
+  let empty () = { table = Hashtbl.create 32; order = [] }
+  let schema t name = Option.map fst (Hashtbl.find_opt t.table name)
+
+  let schema_exn t name =
+    match schema t name with
+    | Some s -> s
+    | None -> invalid_arg ("Typecheck.Env.schema_exn: unknown cube " ^ name)
+
+  let kind t name = Option.map snd (Hashtbl.find_opt t.table name)
+  let mem t name = Hashtbl.mem t.table name
+  let names t = List.rev t.order
+
+  let add t kind schema =
+    let name = schema.Schema.name in
+    if not (Hashtbl.mem t.table name) then t.order <- name :: t.order;
+    Hashtbl.replace t.table name (schema, kind)
+end
+
+type checked = {
+  program : Ast.program;
+  env : Env.t;
+  statements : Ast.stmt list;
+}
+
+let dims_of_schema s =
+  Array.to_list s.Schema.dims
+  |> List.map (fun d -> (d.Schema.dim_name, d.Schema.dim_domain))
+
+let schema_of_ty ~name ty =
+  match ty with
+  | Scalar_ty -> Schema.make ~name ~dims:[] ()
+  | Cube_ty dims -> Schema.make ~name ~dims ()
+
+let unify_dims pos a b =
+  (* Vectorial operands: same dimension names (as sets) with unifiable
+     domains; the result keeps the left operand's order. *)
+  if List.length a <> List.length b then
+    Errors.failf ~pos "operands have different dimensions: %s vs %s"
+      (ty_to_string (Cube_ty a)) (ty_to_string (Cube_ty b));
+  List.map
+    (fun (n, da) ->
+      match List.assoc_opt n b with
+      | None ->
+          Errors.failf ~pos
+            "operands have different dimensions: %s missing from %s" n
+            (ty_to_string (Cube_ty b))
+      | Some db -> (
+          match Domain.union da db with
+          | Some d -> (n, d)
+          | None ->
+              Errors.failf ~pos
+                "dimension %s has incompatible domains %s and %s" n
+                (Domain.to_string da) (Domain.to_string db)))
+    a
+
+let temporal_dims dims =
+  List.filter (fun (_, d) -> Domain.is_temporal d) dims
+
+let the_temporal_dim pos what dims =
+  match temporal_dims dims with
+  | [ (n, d) ] -> (n, d)
+  | [] -> Errors.failf ~pos "%s requires a temporal dimension" what
+  | many ->
+      Errors.failf ~pos
+        "%s is ambiguous: operand has %d temporal dimensions (%s)" what
+        (List.length many)
+        (String.concat ", " (List.map fst many))
+
+let rec infer env expr =
+  match expr with
+  | Ast.Number _ -> Scalar_ty
+  | Ast.Cube_ref name -> (
+      match Env.schema env name with
+      | Some s -> Cube_ty (dims_of_schema s)
+      | None -> Errors.failf "reference to undefined cube %s" name)
+  | Ast.Neg e -> infer env e
+  | Ast.Binop (op, a, b) -> (
+      let ta = infer env a and tb = infer env b in
+      ignore op;
+      match (ta, tb) with
+      | Scalar_ty, Scalar_ty -> Scalar_ty
+      | Cube_ty d, Scalar_ty | Scalar_ty, Cube_ty d -> Cube_ty d
+      | Cube_ty da, Cube_ty db -> Cube_ty (unify_dims Ast.no_pos da db))
+  | Ast.Call c -> infer_call env c
+
+and infer_call env (c : Ast.call) =
+  let pos = c.pos in
+  if c.conditions <> [] && Ast.classify c.fn <> Ast.Filter_op then
+    Errors.failf ~pos "%s does not take dim = literal conditions" c.fn;
+  match Ast.classify c.fn with
+  | Ast.Shift_op -> infer_shift env c
+  | Ast.Filter_op -> infer_filter env c
+  | Ast.Outer_op _ -> infer_outer env c
+  | Ast.Agg_op _ -> infer_agg env c
+  | Ast.Scalar_op s -> infer_scalar env c s
+  | Ast.Blackbox_op b -> infer_blackbox env c b
+  | Ast.Unknown_op ->
+      Errors.failf ~pos
+        "unknown operator %s (known: shift, aggregations %s, scalar %s, black-box %s)"
+        c.fn
+        (String.concat "/" (List.map Stats.Aggregate.to_string Stats.Aggregate.all))
+        (String.concat "/" (Ops.Scalar_fn.names ()))
+        (String.concat "/" (Ops.Blackbox.names ()))
+
+and infer_shift env c =
+  let pos = c.pos in
+  if c.group_by <> None then
+    Errors.fail ~pos "shift does not take a group by clause";
+  let operand, dim, amount =
+    match c.args with
+    | [ e; k ] when Ast.as_number k <> None -> (e, None, Option.get (Ast.as_number k))
+    | [ e; Ast.Cube_ref d; k ] when Ast.as_number k <> None ->
+        (e, Some d, Option.get (Ast.as_number k))
+    | _ ->
+        Errors.fail ~pos
+          "shift expects shift(expr, amount) or shift(expr, dimension, amount)"
+  in
+  if not (Float.is_integer amount) then
+    Errors.failf ~pos "shift amount must be an integer, got %g" amount;
+  match infer env operand with
+  | Scalar_ty -> Errors.fail ~pos "shift operand must be a cube"
+  | Cube_ty dims ->
+      (match dim with
+      | Some d -> (
+          match List.assoc_opt d dims with
+          | None -> Errors.failf ~pos "shift: no dimension %s in operand" d
+          | Some dom when not (Domain.is_temporal dom) ->
+              Errors.failf ~pos "shift: dimension %s is not temporal" d
+          | Some _ -> ())
+      | None -> ignore (the_temporal_dim pos "shift" dims));
+      Cube_ty dims
+
+and infer_outer env c =
+  let pos = c.pos in
+  if c.group_by <> None then
+    Errors.failf ~pos "%s does not take a group by clause" c.fn;
+  let a, b =
+    match c.args with
+    | [ a; b ] -> (a, b)
+    | [ a; b; d ] when Ast.as_number d <> None -> (a, b)
+    | _ ->
+        Errors.failf ~pos
+          "%s expects two cube operands and an optional numeric default" c.fn
+  in
+  match (infer env a, infer env b) with
+  | Cube_ty da, Cube_ty db -> Cube_ty (unify_dims pos da db)
+  | _ -> Errors.failf ~pos "%s operands must both be cubes" c.fn
+
+and infer_filter env c =
+  let pos = c.pos in
+  if c.group_by <> None then
+    Errors.fail ~pos "filter does not take a group by clause";
+  let operand =
+    match c.args with
+    | [ e ] -> e
+    | _ -> Errors.fail ~pos "filter expects exactly one cube operand"
+  in
+  if c.conditions = [] then
+    Errors.fail ~pos "filter needs at least one dim = literal condition";
+  match infer env operand with
+  | Scalar_ty -> Errors.fail ~pos "filter operand must be a cube"
+  | Cube_ty dims ->
+      List.iter
+        (fun (dim, literal) ->
+          match List.assoc_opt dim dims with
+          | None -> Errors.failf ~pos "filter: no dimension %s in operand" dim
+          | Some domain -> (
+              match Ast.coerce_literal domain literal with
+              | Some _ -> ()
+              | None ->
+                  Errors.failf ~pos
+                    "filter: literal %s does not fit dimension %s of domain %s"
+                    (Value.to_string literal) dim (Domain.to_string domain)))
+        c.conditions;
+      Cube_ty dims
+
+and infer_agg env c =
+  let pos = c.pos in
+  let operand =
+    match c.args with
+    | [ e ] -> e
+    | _ ->
+        Errors.failf ~pos "%s expects exactly one cube operand" c.fn
+  in
+  match infer env operand with
+  | Scalar_ty -> Errors.failf ~pos "%s operand must be a cube" c.fn
+  | Cube_ty dims -> (
+      match c.group_by with
+      | None -> Cube_ty []
+      | Some items ->
+          let result_dims =
+            List.map
+              (fun (item : Ast.dim_item) ->
+                let src_domain =
+                  match List.assoc_opt item.src dims with
+                  | Some d -> d
+                  | None ->
+                      Errors.failf ~pos
+                        "group by: no dimension %s in the operand of %s"
+                        item.src c.fn
+                in
+                let result_domain =
+                  match item.fn with
+                  | None -> src_domain
+                  | Some fn_name -> (
+                      match Ops.Dim_fn.find fn_name with
+                      | None ->
+                          Errors.failf ~pos
+                            "group by: unknown dimension function %s (known: %s)"
+                            fn_name
+                            (String.concat "/" (Ops.Dim_fn.names ()))
+                      | Some f ->
+                          if not (Ops.Dim_fn.applicable f src_domain) then
+                            Errors.failf ~pos
+                              "group by: %s not applicable to dimension %s of domain %s"
+                              fn_name item.src (Domain.to_string src_domain);
+                          Ops.Dim_fn.result_domain f)
+                in
+                (Ast.dim_item_result_name item, result_domain))
+              items
+          in
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun (n, _) ->
+              if Hashtbl.mem seen n then
+                Errors.failf ~pos "group by produces duplicate dimension %s" n;
+              Hashtbl.add seen n ())
+            result_dims;
+          Cube_ty result_dims)
+
+and infer_scalar env c (s : Ops.Scalar_fn.t) =
+  let pos = c.pos in
+  if c.group_by <> None then
+    Errors.failf ~pos "%s does not take a group by clause" c.fn;
+  match Ast.split_call_args c with
+  | Error msg -> Errors.fail ~pos msg
+  | Ok (params, operand) -> (
+      let operand, params =
+        match operand with
+        | Some e -> (e, params)
+        | None -> (
+            (* All arguments numeric: the last one is the operand. *)
+            match List.rev params with
+            | last :: rest -> (Ast.Number last, List.rev rest)
+            | [] -> Errors.failf ~pos "%s is missing its operand" c.fn)
+      in
+      let n = List.length params in
+      if n < s.Ops.Scalar_fn.min_params || n > s.Ops.Scalar_fn.max_params then
+        Errors.failf ~pos "%s expects %d..%d scalar parameters, got %d" c.fn
+          s.Ops.Scalar_fn.min_params s.Ops.Scalar_fn.max_params n;
+      match infer env operand with
+      | Scalar_ty -> Scalar_ty
+      | Cube_ty dims -> Cube_ty dims)
+
+and infer_blackbox env c (b : Ops.Blackbox.t) =
+  let pos = c.pos in
+  if c.group_by <> None then
+    Errors.failf ~pos "%s does not take a group by clause" c.fn;
+  match Ast.split_call_args c with
+  | Error msg -> Errors.fail ~pos msg
+  | Ok (params, operand) -> (
+      let n = List.length params in
+      if n < b.Ops.Blackbox.min_params || n > b.Ops.Blackbox.max_params then
+        Errors.failf ~pos "%s expects %d..%d scalar parameters, got %d" c.fn
+          b.Ops.Blackbox.min_params b.Ops.Blackbox.max_params n;
+      match operand with
+      | None -> Errors.failf ~pos "%s is missing its cube operand" c.fn
+      | Some e -> (
+          match infer env e with
+          | Scalar_ty -> Errors.failf ~pos "%s operand must be a cube" c.fn
+          | Cube_ty dims ->
+              ignore (the_temporal_dim pos c.fn dims);
+              Cube_ty dims))
+
+let infer_expr env e = Errors.protect (fun () -> infer env e)
+
+let resolve_domain pos keyword =
+  match Domain.of_string keyword with
+  | Some d -> d
+  | None -> Errors.failf ~pos "unknown domain %s" keyword
+
+let check_decl env (d : Ast.decl) =
+  if Env.mem env d.d_name then
+    Errors.failf ~pos:d.d_pos "cube %s is declared or defined twice" d.d_name;
+  let dims =
+    List.map (fun (n, dom) -> (n, resolve_domain d.d_pos dom)) d.d_dims
+  in
+  let measure_domain =
+    match d.d_measure with
+    | None -> Domain.Float
+    | Some keyword ->
+        let dom = resolve_domain d.d_pos keyword in
+        if not (Domain.is_numeric dom) then
+          Errors.failf ~pos:d.d_pos "measure of %s must be numeric, got %s"
+            d.d_name (Domain.to_string dom);
+        dom
+  in
+  let schema = Schema.make ~measure_domain ~name:d.d_name ~dims () in
+  Env.add env Registry.Elementary schema
+
+let check_stmt env (s : Ast.stmt) =
+  if Env.mem env s.lhs then
+    Errors.failf ~pos:s.s_pos
+      "cube %s already has a definition (derived cubes must have exactly one)"
+      s.lhs;
+  let ty =
+    try infer env s.rhs
+    with Errors.Exl_error e when e.Errors.pos = None ->
+      raise (Errors.Exl_error { e with Errors.pos = Some s.s_pos })
+  in
+  Env.add env Registry.Derived (schema_of_ty ~name:s.lhs ty)
+
+let check program =
+  Errors.protect (fun () ->
+      let env = Env.empty () in
+      List.iter
+        (function
+          | Ast.Decl d -> check_decl env d
+          | Ast.Stmt s -> check_stmt env s)
+        program;
+      { program; env; statements = Ast.stmts program })
+
+let schemas_of_kind checked kind =
+  List.filter_map
+    (fun name ->
+      match Env.kind checked.env name with
+      | Some k when k = kind -> Some (Env.schema_exn checked.env name)
+      | _ -> None)
+    (Env.names checked.env)
+
+let elementary_schemas checked = schemas_of_kind checked Registry.Elementary
+let derived_schemas checked = schemas_of_kind checked Registry.Derived
+
+let warnings checked =
+  let referenced = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      List.iter
+        (fun name -> Hashtbl.replace referenced name ())
+        (Ast.cube_refs s.Ast.rhs))
+    checked.statements;
+  let out = ref [] in
+  List.iter
+    (fun name ->
+      match Env.kind checked.env name with
+      | Some Registry.Elementary when not (Hashtbl.mem referenced name) ->
+          out :=
+            Printf.sprintf "elementary cube %s is declared but never used" name
+            :: !out
+      | _ -> ())
+    (Env.names checked.env);
+  List.rev !out

@@ -1,0 +1,1 @@
+lib/mappings/egd.ml: Format List Matrix Printf Schema String

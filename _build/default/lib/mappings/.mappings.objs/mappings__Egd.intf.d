@@ -1,0 +1,1 @@
+lib/mappings/egd.mli: Cube Format Matrix Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/mappings/fuse.ml: Egd Exl List Mapping Matrix Option Printf Term Tgd

@@ -1,0 +1,1 @@
+lib/mappings/fuse.mli: Mapping Tgd

@@ -1,0 +1,1 @@
+lib/mappings/generate.ml: Egd Exl List Mapping Matrix Ops Option Printf Result Schema Term Tgd Value

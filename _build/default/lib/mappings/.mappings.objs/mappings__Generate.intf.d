@@ -1,0 +1,1 @@
+lib/mappings/generate.mli: Exl Mapping Stdlib Tgd

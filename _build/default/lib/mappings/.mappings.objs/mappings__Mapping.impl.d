@@ -1,0 +1,1 @@
+lib/mappings/mapping.ml: Buffer Egd Format List Matrix Printf Schema Tgd

@@ -1,0 +1,1 @@
+lib/mappings/mapping.mli: Egd Format Matrix Schema Tgd

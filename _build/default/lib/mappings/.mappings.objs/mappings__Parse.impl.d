@@ -1,0 +1,1 @@
+lib/mappings/parse.ml: Array Buffer Calendar List Matrix Ops Option Printf Stats String Term Tgd Value

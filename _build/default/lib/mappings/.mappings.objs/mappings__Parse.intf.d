@@ -1,0 +1,1 @@
+lib/mappings/parse.mli: Term Tgd

@@ -1,0 +1,1 @@
+lib/mappings/stratify.ml: Hashtbl List Mapping Matrix Printf String Tgd

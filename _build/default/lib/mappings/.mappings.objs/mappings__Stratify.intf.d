@@ -1,0 +1,1 @@
+lib/mappings/stratify.mli: Mapping Tgd

@@ -1,0 +1,1 @@
+lib/mappings/term.ml: Calendar Format Hashtbl List Matrix Ops Option Printf String Value

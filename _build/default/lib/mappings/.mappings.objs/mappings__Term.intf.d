@@ -1,0 +1,1 @@
+lib/mappings/term.mli: Format Matrix Ops Value

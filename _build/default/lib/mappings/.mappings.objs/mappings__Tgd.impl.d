@@ -1,0 +1,1 @@
+lib/mappings/tgd.ml: Format Hashtbl List Ops Printf Stats String Term

@@ -1,0 +1,1 @@
+lib/mappings/tgd.mli: Format Ops Stats Term

@@ -1,0 +1,19 @@
+open Matrix
+
+type t = { relation : string; dims : int }
+
+let of_schema s = { relation = s.Schema.name; dims = Schema.arity s }
+
+let violations _t cube =
+  (* A Cube.t is keyed by dimension tuple, so functionality holds by
+     construction; the chase checks egds on raw fact sets instead. *)
+  ignore cube;
+  []
+
+let to_string t =
+  let vars = List.init t.dims (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  let args y = String.concat ", " (vars @ [ y ]) in
+  Printf.sprintf "%s(%s) ∧ %s(%s) → (y1 = y2)" t.relation (args "y1")
+    t.relation (args "y2")
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

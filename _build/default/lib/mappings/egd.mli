@@ -1,0 +1,20 @@
+open Matrix
+
+(** Equality-generating dependencies enforcing cube functionality.
+
+    For each cube [F(x1, ..., xn, y)] the paper adds
+    [F(x1, ..., xn, y1) ∧ F(x1, ..., xn, y2) → (y1 = y2)].
+    Section 4.2 argues these can never fail on chase results because
+    every tgd computes the measure as a function of the dimensions; the
+    chase checks them anyway (machine-checking the argument). *)
+
+type t = { relation : string; dims : int }
+
+val of_schema : Schema.t -> t
+
+val violations : t -> Cube.t -> (Tuple.t * Value.t * Value.t) list
+(** Always empty for cubes stored in our keyed representation — kept for
+    the raw-fact instances used by the chase. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+let counter = ref 0
+
+let freshen_tgd_vars lhs rhs =
+  incr counter;
+  let prefix = Printf.sprintf "f%d_" !counter in
+  let rn (a : Tgd.atom) =
+    { a with Tgd.args = List.map (Term.rename ~prefix) a.Tgd.args }
+  in
+  (List.map rn lhs, rn rhs)
+
+(* Substitute one variable by a term inside an atom list. *)
+let subst_atoms v term atoms =
+  let f x = if x = v then Some term else None in
+  List.map
+    (fun (a : Tgd.atom) -> { a with Tgd.args = List.map (Term.substitute f) a.Tgd.args })
+    atoms
+
+exception Not_fusable
+
+let fuse_step ~producer ~consumer =
+  match (producer, consumer) with
+  | ( Tgd.Tuple_level { lhs = p_lhs; rhs = p_rhs },
+      Tgd.Tuple_level { lhs = c_lhs; rhs = c_rhs } ) -> (
+      let temp = p_rhs.Tgd.rel in
+      match List.partition (fun (a : Tgd.atom) -> a.Tgd.rel = temp) c_lhs with
+      | [ temp_atom ], other_atoms -> (
+          let p_lhs, p_rhs = freshen_tgd_vars p_lhs p_rhs in
+          (* Mutable working copies; each solved constraint is applied
+             immediately everywhere, so later pairs see current terms. *)
+          let prod_atoms = ref p_lhs in
+          let cons_atoms = ref other_atoms in
+          let cons_rhs = ref [ c_rhs ] in
+          let pairs =
+            ref (List.combine temp_atom.Tgd.args p_rhs.Tgd.args)
+          in
+          let apply v term =
+            prod_atoms := subst_atoms v term !prod_atoms;
+            cons_atoms := subst_atoms v term !cons_atoms;
+            cons_rhs := subst_atoms v term !cons_rhs;
+            pairs :=
+              List.map
+                (fun (u, s) ->
+                  let f x = if x = v then Some term else None in
+                  (Term.substitute f u, Term.substitute f s))
+                !pairs
+          in
+          try
+            let rec solve () =
+              match !pairs with
+              | [] -> ()
+              | (u, s) :: rest ->
+                  pairs := rest;
+                  (match (u, s) with
+                  | _ when Term.equal u s -> ()
+                  | _, Term.Var v -> apply v u
+                  | Term.Var v, _ -> apply v s
+                  | _ -> raise Not_fusable);
+                  solve ()
+            in
+            solve ();
+            match !cons_rhs with
+            | [ rhs ] ->
+                Some (Tgd.Tuple_level { lhs = !cons_atoms @ !prod_atoms; rhs })
+            | _ -> None
+          with Not_fusable -> None)
+      | _ -> None)
+  | _ -> None
+
+let usages (m : Mapping.t) name =
+  List.filter
+    (fun tgd -> List.mem name (Tgd.source_relations tgd))
+    m.Mapping.t_tgds
+
+let mapping (m : Mapping.t) =
+  let rec step (m : Mapping.t) =
+    let candidate =
+      List.find_map
+        (fun producer ->
+          let target = Tgd.target_relation producer in
+          if not (Exl.Normalize.is_temp target) then None
+          else
+            match (producer, usages m target) with
+            | Tgd.Tuple_level _, [ (Tgd.Tuple_level _ as consumer) ] ->
+                Option.map
+                  (fun fused -> (producer, consumer, fused))
+                  (fuse_step ~producer ~consumer)
+            | _ -> None)
+        m.Mapping.t_tgds
+    in
+    match candidate with
+    | None -> m
+    | Some (producer, consumer, fused) ->
+        let temp = Tgd.target_relation producer in
+        let t_tgds =
+          List.filter_map
+            (fun tgd ->
+              if tgd == producer then None
+              else if tgd == consumer then Some fused
+              else Some tgd)
+            m.Mapping.t_tgds
+        in
+        let target =
+          List.filter (fun s -> s.Matrix.Schema.name <> temp) m.Mapping.target
+        in
+        let egds =
+          List.filter (fun (e : Egd.t) -> e.Egd.relation <> temp) m.Mapping.egds
+        in
+        step { m with Mapping.t_tgds; target; egds }
+  in
+  step m

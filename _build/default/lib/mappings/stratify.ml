@@ -1,0 +1,64 @@
+let check (m : Mapping.t) =
+  let known = Hashtbl.create 32 in
+  List.iter
+    (fun s -> Hashtbl.replace known s.Matrix.Schema.name ())
+    m.Mapping.source;
+  let rec loop = function
+    | [] -> Ok ()
+    | tgd :: rest ->
+        let target = Tgd.target_relation tgd in
+        let missing =
+          List.filter
+            (fun r -> not (Hashtbl.mem known r))
+            (Tgd.source_relations tgd)
+        in
+        if missing <> [] then
+          Error
+            (Printf.sprintf
+               "tgd for %s uses relation(s) %s before they are defined" target
+               (String.concat ", " missing))
+        else if Hashtbl.mem known target then
+          Error (Printf.sprintf "relation %s is defined twice" target)
+        else begin
+          Hashtbl.replace known target ();
+          loop rest
+        end
+  in
+  loop m.Mapping.t_tgds
+
+let levels (m : Mapping.t) =
+  let level = Hashtbl.create 32 in
+  List.iter
+    (fun s -> Hashtbl.replace level s.Matrix.Schema.name 0)
+    m.Mapping.source;
+  List.iter
+    (fun tgd ->
+      let sources = Tgd.source_relations tgd in
+      let max_src =
+        List.fold_left
+          (fun acc r ->
+            match Hashtbl.find_opt level r with
+            | Some l -> max acc l
+            | None -> acc)
+          0 sources
+      in
+      Hashtbl.replace level (Tgd.target_relation tgd) (max_src + 1))
+    m.Mapping.t_tgds;
+  List.map
+    (fun tgd ->
+      let t = Tgd.target_relation tgd in
+      (t, Hashtbl.find level t))
+    m.Mapping.t_tgds
+
+let strata (m : Mapping.t) =
+  let lv = levels m in
+  let max_level = List.fold_left (fun acc (_, l) -> max acc l) 0 lv in
+  List.filter_map
+    (fun level ->
+      let group =
+        List.filter
+          (fun tgd -> List.assoc (Tgd.target_relation tgd) lv = level)
+          m.Mapping.t_tgds
+      in
+      if group = [] then None else Some group)
+    (List.init max_level (fun i -> i + 1))

@@ -1,0 +1,20 @@
+(** Stratification of statement tgds (paper, Section 4.2).
+
+    The chase applies tgds "by completely applying the rules
+    corresponding to one statement, before considering the next one".
+    The statement order is already a valid total order; this module
+    validates it and computes the coarser level structure (which tgds
+    could run in parallel — used by the dispatcher). *)
+
+val check : Mapping.t -> (unit, string) result
+(** Every tgd's source relations must be source-schema relations or
+    targets of earlier tgds, and no relation may be targeted twice. *)
+
+val levels : Mapping.t -> (string * int) list
+(** Dependency depth per target relation: elementary = 0, derived =
+    1 + max over sources. *)
+
+val strata : Mapping.t -> Tgd.t list list
+(** Tgds grouped by level, in increasing level order; tgds within one
+    stratum touch disjoint targets and depend only on earlier strata,
+    so they can execute in any order (or in parallel). *)

@@ -1,0 +1,1 @@
+lib/matrix/calendar.ml: Format Int Option Printf String

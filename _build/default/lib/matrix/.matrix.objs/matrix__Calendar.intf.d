@@ -1,0 +1,1 @@
+lib/matrix/calendar.mli: Format

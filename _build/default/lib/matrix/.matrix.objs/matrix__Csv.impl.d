@@ -1,0 +1,1 @@
+lib/matrix/csv.ml: Array Buffer Cube List Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/matrix/csv.mli: Cube Schema

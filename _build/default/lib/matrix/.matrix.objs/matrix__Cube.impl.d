@@ -1,0 +1,1 @@
+lib/matrix/cube.ml: Array Float Format List Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/matrix/cube.mli: Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/matrix/domain.ml: Calendar Format String Value

@@ -1,0 +1,1 @@
+lib/matrix/domain.mli: Calendar Format Value

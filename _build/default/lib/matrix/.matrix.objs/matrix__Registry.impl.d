@@ -1,0 +1,1 @@
+lib/matrix/registry.ml: Cube Format Hashtbl List Option Printf Schema String

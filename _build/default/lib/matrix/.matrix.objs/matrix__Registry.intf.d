@@ -1,0 +1,1 @@
+lib/matrix/registry.mli: Cube Format Schema

@@ -1,0 +1,1 @@
+lib/matrix/schema.ml: Array Domain Format Fun Hashtbl List Option Printf String Tuple

@@ -1,0 +1,1 @@
+lib/matrix/schema.mli: Domain Format Tuple

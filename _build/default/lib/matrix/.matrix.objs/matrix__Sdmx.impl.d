@@ -1,0 +1,1 @@
+lib/matrix/sdmx.ml: Array Buffer Calendar Cube Domain Fun List Option Printf Registry Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/matrix/sdmx.mli: Calendar Cube Registry Schema

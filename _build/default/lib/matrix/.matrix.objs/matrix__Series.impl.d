@@ -1,0 +1,1 @@
+lib/matrix/series.ml: Array Calendar Cube Domain Format List Printf Schema Tuple Value

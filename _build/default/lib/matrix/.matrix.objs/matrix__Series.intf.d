@@ -1,0 +1,1 @@
+lib/matrix/series.mli: Calendar Cube Format Schema

@@ -1,0 +1,1 @@
+lib/matrix/store.ml: Array Csv Cube Domain Filename Fun List Option Printf Registry Schema String Sys

@@ -1,0 +1,1 @@
+lib/matrix/store.mli: Registry Schema

@@ -1,0 +1,1 @@
+lib/matrix/tuple.ml: Array Format Hashtbl Int List Map Set String Value

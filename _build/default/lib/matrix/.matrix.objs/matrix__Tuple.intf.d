@@ -1,0 +1,1 @@
+lib/matrix/tuple.mli: Format Hashtbl Map Set Value

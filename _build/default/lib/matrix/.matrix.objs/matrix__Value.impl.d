@@ -1,0 +1,1 @@
+lib/matrix/value.ml: Bool Calendar Float Format Hashtbl Int Printf String

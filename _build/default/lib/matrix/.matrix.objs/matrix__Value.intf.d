@@ -1,0 +1,1 @@
+lib/matrix/value.mli: Calendar Format

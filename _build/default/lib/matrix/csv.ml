@@ -1,0 +1,114 @@
+let escape_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let cube_to_buffer buf c =
+  let schema = Cube.schema c in
+  let header =
+    Schema.dim_names schema @ [ schema.Schema.measure_name ]
+  in
+  Buffer.add_string buf (String.concat "," (List.map escape_field header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) ->
+      let cells = List.map Value.to_string (Tuple.to_list k @ [ v ]) in
+      Buffer.add_string buf (String.concat "," (List.map escape_field cells));
+      Buffer.add_char buf '\n')
+    (Cube.to_alist c)
+
+let cube_to_string c =
+  let buf = Buffer.create 1024 in
+  cube_to_buffer buf c;
+  Buffer.contents buf
+
+let cube_to_channel oc c = output_string oc (cube_to_string c)
+
+(* A small state-machine parser handling RFC 4180 quoting. *)
+let parse_rows s =
+  let rows = ref [] and row = ref [] and field = Buffer.create 32 in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    (match List.rev !row with
+    | [ "" ] -> () (* skip blank lines *)
+    | r -> rows := r :: !rows);
+    row := []
+  in
+  let n = String.length s in
+  let rec plain i =
+    if i >= n then (if Buffer.length field > 0 || !row <> [] then flush_row ())
+    else
+      match s.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length field = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char field c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then flush_row ()
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char field '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char field c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let cube_of_string schema s =
+  match parse_rows s with
+  | [] -> Error "empty CSV"
+  | header :: rows ->
+      let expected =
+        Schema.dim_names schema @ [ schema.Schema.measure_name ]
+      in
+      if header <> expected then
+        Error
+          (Printf.sprintf "header mismatch: expected %s, got %s"
+             (String.concat "," expected)
+             (String.concat "," header))
+      else
+        let c = Cube.create schema in
+        let err = ref None in
+        List.iteri
+          (fun lineno cells ->
+            if !err = None then
+              let vals = List.map Value.of_string_guess cells in
+              if List.length vals <> Schema.arity schema + 1 then
+                err :=
+                  Some (Printf.sprintf "line %d: wrong arity" (lineno + 2))
+              else
+                let arr = Array.of_list vals in
+                let key = Tuple.of_array (Array.sub arr 0 (Schema.arity schema)) in
+                if not (Schema.compatible_tuple schema key) then
+                  err :=
+                    Some
+                      (Printf.sprintf "line %d: tuple %s out of domain"
+                         (lineno + 2) (Tuple.to_string key))
+                else Cube.set c key arr.(Schema.arity schema))
+          rows;
+        (match !err with Some e -> Error e | None -> Ok c)

@@ -1,0 +1,19 @@
+(** Minimal CSV import/export for cubes.
+
+    Collection in the paper's statistical production flow feeds raw data
+    "in a number of formats"; CSV is the lowest common denominator used
+    by the examples. Header row carries dimension names then the measure
+    name. Quoting follows RFC 4180 (double quotes, doubled to escape). *)
+
+val cube_to_string : Cube.t -> string
+val cube_to_channel : out_channel -> Cube.t -> unit
+
+val cube_of_string : Schema.t -> string -> (Cube.t, string) result
+(** Parses rows against the schema: each cell through
+    [Value.of_string_guess], then checked for domain membership.
+    The header row is validated against the schema's names. *)
+
+val parse_rows : string -> string list list
+(** Raw CSV parsing (exposed for tests). *)
+
+val escape_field : string -> string

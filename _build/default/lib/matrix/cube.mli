@@ -1,0 +1,87 @@
+(** Cubes: sparse partial functions from dimension tuples to a measure.
+
+    A cube is the paper's central object (Section 3): a statistical
+    function [F : X1 x ... x Xn -> Y], stored sparsely.  The functional
+    nature — at most one measure per dimension tuple — is the invariant
+    the paper's egds enforce; here it is structural (the store is keyed
+    by dimension tuple), and [add_strict] reports would-be violations the
+    way a failing chase would. *)
+
+type t
+
+exception Functionality_violation of { cube : string; key : Tuple.t }
+(** Raised by [add_strict] when a key is already present with a
+    different measure — the counterpart of an egd failure. *)
+
+val create : Schema.t -> t
+(** A fresh empty cube. *)
+
+val schema : t -> Schema.t
+val name : t -> string
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val set : t -> Tuple.t -> Value.t -> unit
+(** Insert or replace. [Null] measures are dropped (the function is
+    undefined there). *)
+
+val add_strict : t -> Tuple.t -> Value.t -> unit
+(** Like [set] but @raise Functionality_violation when the key is bound
+    to a different measure (within [Value.equal]). *)
+
+val validate_tuple : t -> Tuple.t -> unit
+(** @raise Invalid_argument when the tuple does not fit the schema. *)
+
+val find : t -> Tuple.t -> Value.t option
+val find_exn : t -> Tuple.t -> Value.t
+val mem : t -> Tuple.t -> bool
+val remove : t -> Tuple.t -> unit
+val iter : (Tuple.t -> Value.t -> unit) -> t -> unit
+val fold : (Tuple.t -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+val keys : t -> Tuple.t list
+
+val to_alist : t -> (Tuple.t * Value.t) list
+(** Sorted by key — deterministic across runs. *)
+
+val of_alist : Schema.t -> (Tuple.t * Value.t) list -> t
+val of_rows : Schema.t -> Value.t list list -> t
+(** Each row is [dims @ [measure]]. *)
+
+val copy : t -> t
+val with_schema : Schema.t -> t -> t
+(** Same data under another schema (arity must match). *)
+
+val map_measure : (Value.t -> Value.t) -> t -> t
+(** Pointwise transform; [Null] results are dropped (partiality). *)
+
+val mapi : (Tuple.t -> Value.t -> (Tuple.t * Value.t) option) -> Schema.t -> t -> t
+(** General tuple-level rewrite into a cube with the given schema;
+    [None] drops the tuple. @raise Functionality_violation if two source
+    tuples collide on the same target key with different measures. *)
+
+val filter : (Tuple.t -> Value.t -> bool) -> t -> t
+
+val merge_join :
+  (Value.t -> Value.t -> Value.t) -> Schema.t -> t -> t -> t
+(** Natural join on identical dimension tuples, combining the measures —
+    the paper's vectorial-operator semantics (result defined only where
+    both operands are). *)
+
+val merge_outer :
+  (Value.t option -> Value.t option -> Value.t) -> Schema.t -> t -> t -> t
+(** Full-outer variant: the combiner runs on the union of the key sets,
+    receiving [None] for the missing side — the paper's default-value
+    version of vectorial operators. *)
+
+val equal_data : ?eps:float -> t -> t -> bool
+(** Same key set and measures equal up to [eps] (default 1e-9) for
+    numeric measures, [Value.equal] otherwise.  Schema names are ignored:
+    this is the instance-equality used to verify chase vs interpreter vs
+    target engines. *)
+
+val diff_data : ?eps:float -> t -> t -> string list
+(** Human-readable discrepancies (missing / extra / differing keys),
+    capped at 20 entries; empty iff [equal_data]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

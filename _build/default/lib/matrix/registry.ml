@@ -1,0 +1,66 @@
+type kind = Elementary | Derived
+
+let kind_to_string = function
+  | Elementary -> "elementary"
+  | Derived -> "derived"
+
+type entry = { kind : kind; cube : Cube.t }
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 32
+let add t kind cube = Hashtbl.replace t (Cube.name cube) { kind; cube }
+let declare t kind schema = add t kind (Cube.create schema)
+let find t name = Option.map (fun e -> e.cube) (Hashtbl.find_opt t name)
+
+let find_exn t name =
+  match find t name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: no cube %S" name)
+
+let kind_of t name = Option.map (fun e -> e.kind) (Hashtbl.find_opt t name)
+let mem t name = Hashtbl.mem t name
+let remove t name = Hashtbl.remove t name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let names_of_kind t kind =
+  Hashtbl.fold (fun k e acc -> if e.kind = kind then k :: acc else acc) t []
+  |> List.sort String.compare
+
+let elementary_names t = names_of_kind t Elementary
+let derived_names t = names_of_kind t Derived
+let schemas t = List.map (fun n -> Cube.schema (find_exn t n)) (names t)
+
+let copy t =
+  let out = create () in
+  Hashtbl.iter
+    (fun k e -> Hashtbl.replace out k { e with cube = Cube.copy e.cube })
+    t;
+  out
+
+let restrict_elementary t =
+  let out = create () in
+  Hashtbl.iter
+    (fun k e ->
+      if e.kind = Elementary then
+        Hashtbl.replace out k { e with cube = Cube.copy e.cube })
+    t;
+  out
+
+let equal_data ?eps a b =
+  names a = names b
+  && List.for_all
+       (fun n -> Cube.equal_data ?eps (find_exn a n) (find_exn b n))
+       (names a)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      let e = Hashtbl.find t n in
+      Format.fprintf ppf "%s %s [%d tuples]@," (kind_to_string e.kind)
+        (Schema.to_string (Cube.schema e.cube))
+        (Cube.cardinality e.cube))
+    (names t);
+  Format.fprintf ppf "@]"

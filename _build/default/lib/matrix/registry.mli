@@ -1,0 +1,41 @@
+(** Named cube store with the elementary/derived partition.
+
+    The paper partitions cube identifiers into {e elementary} (base data
+    fed to the system) and {e derived} (defined by statements) — the
+    base-table/view split.  A registry is the "storage system" cubes are
+    read from and written back to by every target engine. *)
+
+type kind = Elementary | Derived
+
+val kind_to_string : kind -> string
+
+type t
+
+val create : unit -> t
+val add : t -> kind -> Cube.t -> unit
+(** Registers (or replaces) a cube under its schema name. *)
+
+val declare : t -> kind -> Schema.t -> unit
+(** Registers an empty cube for the schema. *)
+
+val find : t -> string -> Cube.t option
+val find_exn : t -> string -> Cube.t
+val kind_of : t -> string -> kind option
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+val names : t -> string list  (** Sorted. *)
+
+val elementary_names : t -> string list
+val derived_names : t -> string list
+val schemas : t -> Schema.t list
+val copy : t -> t
+(** Deep copy: cubes are copied too. *)
+
+val restrict_elementary : t -> t
+(** A copy containing only the elementary cubes — the source instance
+    [I] of the data exchange problem. *)
+
+val equal_data : ?eps:float -> t -> t -> bool
+(** Same cube names, kinds ignored, with [Cube.equal_data] contents. *)
+
+val pp : Format.formatter -> t -> unit

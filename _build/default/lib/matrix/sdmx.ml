@@ -1,0 +1,170 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let time_period p =
+  let y = Calendar.Period.year_of p and sub = Calendar.Period.sub_of p in
+  match Calendar.Period.freq p with
+  | Calendar.Year -> Printf.sprintf "%04d" y
+  | Calendar.Semester -> Printf.sprintf "%04d-S%d" y sub
+  | Calendar.Quarter -> Printf.sprintf "%04d-Q%d" y sub
+  | Calendar.Month -> Printf.sprintf "%04d-%02d" y sub
+  | Calendar.Week -> Printf.sprintf "%04d-W%02d" y sub
+  | Calendar.Day -> Calendar.Date.to_string (Calendar.Period.start_date p)
+
+let header kind =
+  Printf.sprintf
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<message:%s>\n" kind
+
+let footer kind = Printf.sprintf "</message:%s>\n" kind
+
+let split_dims schema =
+  Array.to_list schema.Schema.dims
+  |> List.partition (fun d -> not (Domain.is_temporal d.Schema.dim_domain))
+
+let dsd_of_schema ?(agency = "EXLENGINE") schema =
+  let categorical, temporal = split_dims schema in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (header "Structure");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <structure:DataStructure id=\"DSD_%s\" agencyID=\"%s\" version=\"1.0\">\n"
+       (escape schema.Schema.name) (escape agency));
+  Buffer.add_string buf "    <structure:DimensionList>\n";
+  List.iteri
+    (fun i d ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      <structure:Dimension id=\"%s\" position=\"%d\" type=\"%s\"/>\n"
+           (escape (String.uppercase_ascii d.Schema.dim_name))
+           (i + 1)
+           (escape (Domain.to_string d.Schema.dim_domain))))
+    categorical;
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      <structure:TimeDimension id=\"%s\" position=\"%d\"/>\n"
+           (escape (String.uppercase_ascii d.Schema.dim_name))
+           (List.length categorical + 1)))
+    temporal;
+  Buffer.add_string buf "    </structure:DimensionList>\n";
+  Buffer.add_string buf "    <structure:MeasureList>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "      <structure:PrimaryMeasure id=\"%s\" type=\"%s\"/>\n"
+       (escape (String.uppercase_ascii schema.Schema.measure_name))
+       (escape (Domain.to_string schema.Schema.measure_domain)));
+  Buffer.add_string buf "    </structure:MeasureList>\n";
+  Buffer.add_string buf "  </structure:DataStructure>\n";
+  Buffer.add_string buf (footer "Structure");
+  Buffer.contents buf
+
+let obs_time = function
+  | Value.Period p -> time_period p
+  | Value.Date d -> Calendar.Date.to_string d
+  | v -> Value.to_string v
+
+let generic_data_of_cube ?(agency = "EXLENGINE") cube =
+  let schema = Cube.schema cube in
+  let n = Schema.arity schema in
+  let temporal_idx =
+    let rec find i =
+      if i >= n then None
+      else if Domain.is_temporal schema.Schema.dims.(i).Schema.dim_domain then
+        Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let key_idxs =
+    List.filter (fun i -> Some i <> temporal_idx) (List.init n Fun.id)
+  in
+  (* Group tuples into series by the non-temporal key. *)
+  let series : (Tuple.t * Value.t) list Tuple.Table.t = Tuple.Table.create 32 in
+  Cube.iter
+    (fun k v ->
+      let skey = Tuple.project k (Array.of_list key_idxs) in
+      let prev = Option.value ~default:[] (Tuple.Table.find_opt series skey) in
+      Tuple.Table.replace series skey ((k, v) :: prev))
+    cube;
+  let sorted_series =
+    Tuple.Table.fold (fun k v acc -> (k, v) :: acc) series []
+    |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header "GenericData");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <message:Header><message:ID>%s</message:ID><message:Sender id=\"%s\"/></message:Header>\n"
+       (escape schema.Schema.name) (escape agency));
+  Buffer.add_string buf
+    (Printf.sprintf "  <message:DataSet structureRef=\"DSD_%s\">\n"
+       (escape schema.Schema.name));
+  List.iter
+    (fun (skey, points) ->
+      Buffer.add_string buf "    <generic:Series>\n";
+      if key_idxs <> [] then begin
+        Buffer.add_string buf "      <generic:SeriesKey>\n";
+        List.iteri
+          (fun pos idx ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "        <generic:Value id=\"%s\" value=\"%s\"/>\n"
+                 (escape
+                    (String.uppercase_ascii
+                       schema.Schema.dims.(idx).Schema.dim_name))
+                 (escape (Value.to_string (Tuple.get skey pos)))))
+          key_idxs;
+        Buffer.add_string buf "      </generic:SeriesKey>\n"
+      end;
+      let sorted_points =
+        List.sort (fun (a, _) (b, _) -> Tuple.compare a b) points
+      in
+      List.iter
+        (fun (k, v) ->
+          match temporal_idx with
+          | Some t ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "      <generic:Obs><generic:ObsDimension value=\"%s\"/><generic:ObsValue value=\"%s\"/></generic:Obs>\n"
+                   (escape (obs_time (Tuple.get k t)))
+                   (escape (Value.to_string v)))
+          | None ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "      <generic:Obs><generic:ObsValue value=\"%s\"/></generic:Obs>\n"
+                   (escape (Value.to_string v))))
+        sorted_points;
+      Buffer.add_string buf "    </generic:Series>\n")
+    sorted_series;
+  Buffer.add_string buf "  </message:DataSet>\n";
+  Buffer.add_string buf (footer "GenericData");
+  Buffer.contents buf
+
+let dataflow_of_registry ?(agency = "EXLENGINE") registry =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (header "Structure");
+  List.iter
+    (fun name ->
+      let kind =
+        match Registry.kind_of registry name with
+        | Some k -> Registry.kind_to_string k
+        | None -> "unknown"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <structure:Dataflow id=\"%s\" agencyID=\"%s\" class=\"%s\" structureRef=\"DSD_%s\"/>\n"
+           (escape name) (escape agency) (escape kind) (escape name)))
+    (Registry.names registry);
+  Buffer.add_string buf (footer "Structure");
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** SDMX-ML export of cube structures and data.
+
+    The paper positions the Matrix model "in the class of SDMX
+    (Statistical Data and Metadata Exchange), the internationally
+    adopted model", and its production flow ends with {e dissemination}
+    — packaging products for stakeholders.  This module renders the two
+    artifacts that phase needs: a Data Structure Definition for a cube
+    schema and a generic data message for its contents. *)
+
+val time_period : Calendar.Period.t -> string
+(** SDMX time-period representation: ["2020"], ["2020-S1"],
+    ["2020-Q1"], ["2020-01"], ["2020-W05"], ["2020-01-17"]. *)
+
+val dsd_of_schema : ?agency:string -> Schema.t -> string
+(** An SDMX-ML structure message with one DataStructure: a Dimension
+    per categorical dimension, a TimeDimension for the temporal one,
+    and the PrimaryMeasure. *)
+
+val generic_data_of_cube : ?agency:string -> Cube.t -> string
+(** An SDMX-ML generic data message: one Series per combination of
+    non-temporal dimension values (ordered, deterministic), with one
+    Obs per period; cubes without a temporal dimension render as a
+    single series keyed by all dimensions. *)
+
+val dataflow_of_registry : ?agency:string -> Registry.t -> string
+(** Structure message listing a Dataflow per cube (the catalog a
+    dissemination system would publish). *)

@@ -1,0 +1,19 @@
+(** Directory-based persistence for cube registries.
+
+    The paper's engines "share the data they act on" through a storage
+    system; this is the simplest durable form of it: one CSV per cube
+    plus a manifest recording schemas and the elementary/derived split,
+    so a registry round-trips losslessly. *)
+
+val save : dir:string -> Registry.t -> (unit, string) result
+(** Creates [dir] if needed; writes [manifest] and one [<CUBE>.csv]
+    per cube, replacing existing files. *)
+
+val load : dir:string -> (Registry.t, string) result
+
+val manifest_of_registry : Registry.t -> string
+(** The manifest text (one line per cube:
+    [name|kind|dim:domain,...|measure:domain]). *)
+
+val registry_schemas_of_manifest :
+  string -> ((Schema.t * Registry.kind) list, string) result

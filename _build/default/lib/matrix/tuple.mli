@@ -1,0 +1,34 @@
+(** Dimension tuples — the keys of a cube's partial function.
+
+    A cube tuple [(x1, ..., xn, y)] is split into its key [(x1, ..., xn)]
+    (this module) and its measure [y].  Keys are immutable value arrays
+    with structural comparison and hashing, usable in maps and hash
+    tables. *)
+
+type t = private Value.t array
+
+val of_array : Value.t array -> t
+(** Takes ownership of the array; callers must not mutate it afterwards. *)
+
+val of_list : Value.t list -> t
+val to_array : t -> Value.t array  (** Returns a copy. *)
+
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val project : t -> int array -> t
+(** [project t idxs] keeps the components at [idxs], in that order. *)
+
+val append : t -> Value.t -> Value.t array
+(** The full cube tuple [(x1, ..., xn, y)] as a fresh array. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,113 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of Calendar.Date.t
+  | Period of Calendar.Period.t
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* ints and floats live in the same numeric order *)
+  | String _ -> 3
+  | Date _ -> 4
+  | Period _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | Date x, Date y -> Calendar.Date.compare x y
+  | Period x, Period y -> Calendar.Period.compare x y
+  | ( (Null | Bool _ | Int _ | Float _ | String _ | Date _ | Period _),
+      (Null | Bool _ | Int _ | Float _ | String _ | Date _ | Period _) ) ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (0xDA7E, Calendar.Date.to_rata_die d)
+  | Period p -> 0x9E12 lxor Calendar.Period.hash p
+
+let is_null = function Null -> true | _ -> false
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1. else 0.)
+  | Null | String _ | Date _ | Period _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | Date _ -> "date"
+  | Period _ -> "period"
+
+let to_float_exn v =
+  match to_float v with
+  | Some f -> f
+  | None ->
+      invalid_arg ("Value.to_float_exn: non-numeric value of type " ^ type_name v)
+
+let of_float f = if Float.is_nan f then Null else Float f
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | Bool b -> Some (if b then 1 else 0)
+  | Null | Float _ | String _ | Date _ | Period _ -> None
+
+let to_string = function
+  | Null -> ""
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else
+        (* shortest representation that round-trips exactly *)
+        let s = Printf.sprintf "%.15g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  | String s -> s
+  | Date d -> Calendar.Date.to_string d
+  | Period p -> Calendar.Period.to_string p
+
+let of_string_guess s =
+  if s = "" then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> (
+            match Calendar.Date.of_string s with
+            | Some d -> Date d
+            | None -> (
+                match bool_of_string_opt s with
+                | Some b -> Bool b
+                | None -> (
+                    (* Periods like 2023Q1 but not plain years: a bare
+                       integer already parsed as Int above. *)
+                    match Calendar.Period.of_string s with
+                    | Some p when Calendar.Period.freq p <> Calendar.Year ->
+                        Period p
+                    | _ -> String s))))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,44 @@
+(** Atomic values carried by cube dimensions and measures.
+
+    Measures in the paper are "all numeric"; dimension values additionally
+    range over strings (classification codes), dates and periods.  [Null]
+    represents a missing value: cubes are partial functions, and some
+    operators (e.g. division by zero) leave holes in the result. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of Calendar.Date.t
+  | Period of Calendar.Period.t
+
+val compare : t -> t -> int
+(** Total order across constructors (constructor rank first). Numeric
+    values compare cross-type by magnitude so that [Int 2 = Float 2.]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val is_null : t -> bool
+
+val to_float : t -> float option
+(** Numeric coercion: [Int], [Float] and [Bool] (0/1) convert; other
+    constructors yield [None]. *)
+
+val to_float_exn : t -> float
+(** @raise Invalid_argument when not numeric. *)
+
+val of_float : float -> t
+(** [Float f], except NaN which becomes [Null] (missing result). *)
+
+val to_int : t -> int option
+val to_string : t -> string
+val of_string_guess : string -> t
+(** Best-effort parse used by CSV loading: int, float, period, date,
+    bool, else string; [""] is [Null]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val type_name : t -> string
+(** Constructor name for error messages: ["int"], ["float"], ... *)

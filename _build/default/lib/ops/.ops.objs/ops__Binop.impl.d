@@ -1,0 +1,1 @@
+lib/ops/binop.ml: Float Format Matrix Value

@@ -1,0 +1,1 @@
+lib/ops/binop.mli: Format Matrix Value

@@ -1,0 +1,1 @@
+lib/ops/blackbox.ml: Array Calendar Cube Domain Float Fun Hashtbl List Matrix Option Printf Schema Stats String Tuple Value

@@ -1,0 +1,1 @@
+lib/ops/blackbox.mli: Calendar Cube Matrix

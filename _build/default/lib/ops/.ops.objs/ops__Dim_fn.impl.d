@@ -1,0 +1,1 @@
+lib/ops/dim_fn.ml: Calendar Domain List Matrix Option Value

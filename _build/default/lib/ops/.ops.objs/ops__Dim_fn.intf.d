@@ -1,0 +1,1 @@
+lib/ops/dim_fn.mli: Calendar Domain Matrix Value

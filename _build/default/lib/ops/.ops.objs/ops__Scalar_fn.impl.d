@@ -1,0 +1,1 @@
+lib/ops/scalar_fn.ml: Float Hashtbl List Matrix String Value

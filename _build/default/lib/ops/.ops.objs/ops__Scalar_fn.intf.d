@@ -1,0 +1,1 @@
+lib/ops/scalar_fn.mli: Matrix Value

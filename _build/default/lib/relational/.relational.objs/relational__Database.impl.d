@@ -1,0 +1,1 @@
+lib/relational/database.ml: Cube Format Hashtbl List Matrix Registry Schema String Table

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Cube Format Matrix Registry Schema Table

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Array Calendar Cube Database Hashtbl List Mappings Matrix Ops Option Plan Printf Schema Sql_ast Sql_gen Stats String Table Tuple Value

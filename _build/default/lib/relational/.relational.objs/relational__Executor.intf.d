@@ -1,0 +1,1 @@
+lib/relational/executor.mli: Database Mappings Matrix Plan Schema Sql_ast Value

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Buffer List Printf Sql_ast Sql_print Stats String

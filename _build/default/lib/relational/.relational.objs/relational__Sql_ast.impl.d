@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: Hashtbl List Matrix Ops Stats Value

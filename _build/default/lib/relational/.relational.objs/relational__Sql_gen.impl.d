@@ -1,0 +1,1 @@
+lib/relational/sql_gen.ml: Array Domain Exl List Mappings Matrix Printf Schema Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/relational/sql_gen.mli: Mappings Sql_ast

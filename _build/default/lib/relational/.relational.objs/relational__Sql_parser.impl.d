@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Array Calendar List Matrix Ops Option Printf Sql_ast Stats String Value

@@ -1,0 +1,1 @@
+lib/relational/sql_print.ml: Buffer Calendar List Matrix Ops Printf Sql_ast Stats String Value

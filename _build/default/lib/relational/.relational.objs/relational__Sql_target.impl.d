@@ -1,0 +1,1 @@
+lib/relational/sql_target.ml: Cube Database Executor Exl List Mappings Matrix Registry Result Schema Sql_gen Sql_print

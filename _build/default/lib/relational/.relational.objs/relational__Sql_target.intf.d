@@ -1,0 +1,1 @@
+lib/relational/sql_target.mli: Exl Matrix Registry

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Cube Format List Matrix Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Cube Format Matrix Schema Value

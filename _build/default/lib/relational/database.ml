@@ -1,0 +1,59 @@
+open Matrix
+
+type t = (string, Table.t) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let create_table t ~name ~columns =
+  let table = Table.create ~name ~columns in
+  Hashtbl.replace t name table;
+  table
+
+let add_table t table = Hashtbl.replace t (Table.name table) table
+let find t name = Hashtbl.find_opt t name
+
+let find_exn t name =
+  match find t name with
+  | Some table -> table
+  | None -> invalid_arg ("Database.find_exn: no table " ^ name)
+
+let mem t name = Hashtbl.mem t name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let load_cube t cube = add_table t (Table.of_cube cube)
+
+let of_registry reg =
+  let t = create () in
+  List.iter (fun n -> load_cube t (Registry.find_exn reg n)) (Registry.names reg);
+  t
+
+let to_registry t ~schemas ~elementary =
+  let reg = Registry.create () in
+  List.iter
+    (fun schema ->
+      let name = schema.Schema.name in
+      let kind =
+        if List.mem name elementary then Registry.Elementary
+        else Registry.Derived
+      in
+      let cube =
+        match find t name with
+        | Some table -> Table.to_cube schema table
+        | None -> Cube.create schema
+      in
+      Registry.add reg kind cube)
+    schemas;
+  reg
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      let table = Hashtbl.find t n in
+      Format.fprintf ppf "%s(%s): %d rows@," n
+        (String.concat ", " (Table.columns table))
+        (Table.row_count table))
+    (names t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+open Matrix
+
+(** A named collection of tables — the DBMS target's storage. *)
+
+type t
+
+val create : unit -> t
+val create_table : t -> name:string -> columns:string list -> Table.t
+(** Creates (or replaces) an empty table. *)
+
+val add_table : t -> Table.t -> unit
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+val mem : t -> string -> bool
+val names : t -> string list  (** Sorted. *)
+
+val of_registry : Registry.t -> t
+(** Loads every cube of the registry as a table. *)
+
+val load_cube : t -> Cube.t -> unit
+val to_registry : t -> schemas:Schema.t list -> elementary:string list -> Registry.t
+(** Reads the tables named by [schemas] back into cubes (applying the
+    functionality check). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,423 @@
+open Matrix
+
+type schema_lookup = string -> Schema.t option
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+let columns_of_schema schema =
+  Schema.dim_names schema @ [ schema.Schema.measure_name ]
+
+let schema_exn lookup table =
+  match lookup table with
+  | Some s -> s
+  | None -> fail "no schema for table %s" table
+
+(* ----- layouts: which (alias, column) lives at which row offset ----- *)
+
+let rec layout lookup = function
+  | Plan.One_row -> []
+  | Plan.Scan { table; alias } ->
+      List.map (fun c -> (alias, c)) (columns_of_schema (schema_exn lookup table))
+  | Plan.Hash_join { build; probe; _ } -> layout lookup build @ layout lookup probe
+  | Plan.Full_outer_hash_join { build; probe; _ } ->
+      layout lookup build @ layout lookup probe
+  | Plan.Filter { input; _ } -> layout lookup input
+  | Plan.Project { exprs; _ } -> List.map (fun (_, n) -> ("", n)) exprs
+  | Plan.Aggregate { keys; measure_name; _ } ->
+      List.map (fun (_, n) -> ("", n)) keys @ [ ("", measure_name) ]
+  | Plan.Table_fn_scan { table; _ } ->
+      List.map (fun c -> ("", c)) (columns_of_schema (schema_exn lookup table))
+
+type resolver = { index : string * string -> int option }
+
+(* Lookup is case-insensitive: printed SQL (and therefore re-parsed
+   SQL) carries upper-cased identifiers. *)
+let resolver_of_layout lay =
+  let exact = Hashtbl.create 16 and by_column = Hashtbl.create 16 in
+  let norm = String.lowercase_ascii in
+  List.iteri
+    (fun i (alias, column) ->
+      Hashtbl.replace exact (norm alias, norm column) i;
+      if not (Hashtbl.mem by_column (norm column)) then
+        Hashtbl.replace by_column (norm column) i)
+    lay;
+  {
+    index =
+      (fun (alias, column) ->
+        if alias = "" then Hashtbl.find_opt by_column (norm column)
+        else Hashtbl.find_opt exact (norm alias, norm column));
+  }
+
+(* ----- expression evaluation ----- *)
+
+let shift_value amount = function
+  | Value.Period p -> Value.Period (Calendar.Period.shift p amount)
+  | Value.Date d -> Value.Date (Calendar.Date.add_days d amount)
+  | Value.(Null | Bool _ | Int _ | Float _ | String _) -> Value.Null
+
+let rec eval_expr resolver row expr =
+  match expr with
+  | Sql_ast.Col { alias; column } -> (
+      match resolver.index (alias, column) with
+      | Some i -> row.(i)
+      | None -> fail "unknown column %s.%s" alias column)
+  | Sql_ast.Lit v -> v
+  | Sql_ast.Binop (op, a, b) -> (
+      let va = eval_expr resolver row a and vb = eval_expr resolver row b in
+      (* temporal +/- integer is period/date arithmetic, as in SQL
+         dialects with date + int; needed so re-parsed scripts (where
+         Period_add prints as +) stay execution-equivalent *)
+      match (op, va, vb) with
+      | ( (Ops.Binop.Add | Ops.Binop.Sub),
+          (Value.Period _ | Value.Date _),
+          (Value.Int _ | Value.Float _) ) ->
+          let k =
+            match Value.to_int vb with Some k -> k | None -> 0
+          in
+          let k = if op = Ops.Binop.Sub then -k else k in
+          shift_value k va
+      | Ops.Binop.Add, (Value.Int _ | Value.Float _), (Value.Period _ | Value.Date _)
+        ->
+          let k = match Value.to_int va with Some k -> k | None -> 0 in
+          shift_value k vb
+      | _ -> Ops.Binop.eval_value op va vb)
+  | Sql_ast.Neg a -> (
+      match Value.to_float (eval_expr resolver row a) with
+      | Some f -> Value.of_float (-.f)
+      | None -> Value.Null)
+  | Sql_ast.Scalar_call (fn, params, a) -> (
+      match Ops.Scalar_fn.find fn with
+      | Some f -> Ops.Scalar_fn.apply_value f ~params (eval_expr resolver row a)
+      | None -> fail "unknown scalar function %s" fn)
+  | Sql_ast.Dim_call (fn, a) -> (
+      match Ops.Dim_fn.find fn with
+      | Some f -> (
+          match Ops.Dim_fn.apply f (eval_expr resolver row a) with
+          | Some v -> v
+          | None -> Value.Null)
+      | None -> fail "unknown dimension function %s" fn)
+  | Sql_ast.Period_add (a, k) -> shift_value k (eval_expr resolver row a)
+  | Sql_ast.Agg_call _ -> fail "aggregate call outside GROUP BY context"
+  | Sql_ast.Coalesce (a, b) -> (
+      match eval_expr resolver row a with
+      | Value.Null -> eval_expr resolver row b
+      | v -> v)
+
+(* ----- plan execution ----- *)
+
+(* Views (the Section 6 reformulation) are selects evaluated on demand:
+   scanning a view compiles and runs its select recursively. *)
+type view_env = (string, Sql_ast.select) Hashtbl.t
+
+let rec execute db lookup (views : view_env) plan : Value.t array list =
+  match plan with
+  | Plan.One_row -> [ [||] ]
+  | Plan.Scan { table; _ } -> (
+      match Database.find db table with
+      | Some t -> Table.rows t
+      | None -> (
+          match Hashtbl.find_opt views table with
+          | Some select -> execute db lookup views (plan_of_select_exn lookup select)
+          | None -> []))
+  | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
+      let build_rows = execute db lookup views build in
+      let probe_rows = execute db lookup views probe in
+      let build_res = resolver_of_layout (layout lookup build) in
+      let probe_res = resolver_of_layout (layout lookup probe) in
+      let key resolver keys row =
+        let vals = List.map (eval_expr resolver row) keys in
+        if List.exists Value.is_null vals then None
+        else Some (Tuple.of_list vals)
+      in
+      let index : Value.t array list Tuple.Table.t = Tuple.Table.create 256 in
+      List.iter
+        (fun row ->
+          match key build_res build_keys row with
+          | None -> ()
+          | Some k ->
+              let prev = Option.value ~default:[] (Tuple.Table.find_opt index k) in
+              Tuple.Table.replace index k (row :: prev))
+        build_rows;
+      List.concat_map
+        (fun probe_row ->
+          match key probe_res probe_keys probe_row with
+          | None -> []
+          | Some k ->
+              List.rev_map
+                (fun build_row -> Array.append build_row probe_row)
+                (Option.value ~default:[] (Tuple.Table.find_opt index k)))
+        probe_rows
+  | Plan.Full_outer_hash_join { build; probe; build_keys; probe_keys } ->
+      let build_rows = execute db lookup views build in
+      let probe_rows = execute db lookup views probe in
+      let build_lay = layout lookup build and probe_lay = layout lookup probe in
+      let build_res = resolver_of_layout build_lay in
+      let probe_res = resolver_of_layout probe_lay in
+      let build_width = List.length build_lay in
+      let probe_width = List.length probe_lay in
+      let key resolver keys row =
+        let vals = List.map (eval_expr resolver row) keys in
+        if List.exists Value.is_null vals then None
+        else Some (Tuple.of_list vals)
+      in
+      let index : Value.t array list Tuple.Table.t = Tuple.Table.create 256 in
+      let matched_build : unit Tuple.Table.t = Tuple.Table.create 256 in
+      List.iter
+        (fun row ->
+          match key build_res build_keys row with
+          | None -> ()
+          | Some k ->
+              let prev = Option.value ~default:[] (Tuple.Table.find_opt index k) in
+              Tuple.Table.replace index k (row :: prev))
+        build_rows;
+      let probe_side =
+        List.concat_map
+          (fun probe_row ->
+            match key probe_res probe_keys probe_row with
+            | None ->
+                [ Array.append (Array.make build_width Value.Null) probe_row ]
+            | Some k -> (
+                match Tuple.Table.find_opt index k with
+                | Some matches ->
+                    Tuple.Table.replace matched_build k ();
+                    List.rev_map
+                      (fun build_row -> Array.append build_row probe_row)
+                      matches
+                | None ->
+                    [ Array.append (Array.make build_width Value.Null) probe_row ]))
+          probe_rows
+      in
+      let build_only =
+        List.filter_map
+          (fun build_row ->
+            match key build_res build_keys build_row with
+            | Some k when Tuple.Table.mem matched_build k -> None
+            | _ ->
+                Some (Array.append build_row (Array.make probe_width Value.Null)))
+          build_rows
+      in
+      probe_side @ build_only
+  | Plan.Filter { input; equalities } ->
+      let res = resolver_of_layout (layout lookup input) in
+      List.filter
+        (fun row ->
+          List.for_all
+            (fun (a, b) ->
+              let va = eval_expr res row a and vb = eval_expr res row b in
+              (not (Value.is_null va)) && (not (Value.is_null vb))
+              && Value.equal va vb)
+            equalities)
+        (execute db lookup views input)
+  | Plan.Project { input; exprs } ->
+      let res = resolver_of_layout (layout lookup input) in
+      List.map
+        (fun row ->
+          Array.of_list (List.map (fun (e, _) -> eval_expr res row e) exprs))
+        (execute db lookup views input)
+  | Plan.Aggregate { input; keys; aggr; measure; measure_name = _ } ->
+      let res = resolver_of_layout (layout lookup input) in
+      let rows =
+        List.sort
+          (fun a b -> Tuple.compare (Tuple.of_array a) (Tuple.of_array b))
+          (execute db lookup views input)
+      in
+      let groups : float list ref Tuple.Table.t = Tuple.Table.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let key_vals = List.map (fun (e, _) -> eval_expr res row e) keys in
+          if not (List.exists Value.is_null key_vals) then
+            let key = Tuple.of_list key_vals in
+            match Value.to_float (eval_expr res row measure) with
+            | None -> ()
+            | Some m -> (
+                match Tuple.Table.find_opt groups key with
+                | Some bag -> bag := m :: !bag
+                | None ->
+                    Tuple.Table.replace groups key (ref [ m ]);
+                    order := key :: !order))
+        rows;
+      List.rev_map
+        (fun key ->
+          let bag = List.rev !(Tuple.Table.find groups key) in
+          let result = Stats.Aggregate.apply aggr bag in
+          Array.of_list (Tuple.to_list key @ [ Value.of_float result ]))
+        !order
+  | Plan.Table_fn_scan { fn; params; table } -> (
+      let schema = schema_exn lookup table in
+      let source =
+        match Database.find db table with
+        | Some t -> Table.to_cube schema t
+        | None -> (
+            match Hashtbl.find_opt views table with
+            | Some select ->
+                let rows =
+                  execute db lookup views (plan_of_select_exn lookup select)
+                in
+                let cube = Cube.create schema in
+                let n = Schema.arity schema in
+                List.iter
+                  (fun row ->
+                    let key = Tuple.of_array (Array.sub row 0 n) in
+                    Cube.add_strict cube key row.(n))
+                  rows;
+                cube
+            | None -> Cube.create schema)
+      in
+      let op =
+        match Ops.Blackbox.find fn with
+        | Some op -> op
+        | None -> fail "unknown table function %s" fn
+      in
+      match Ops.Blackbox.apply_cube op ~params source with
+      | Error msg -> fail "%s" msg
+      | Ok result ->
+          List.map (fun (k, v) -> Tuple.append k v) (Cube.to_alist result))
+
+(* ----- SELECT compilation ----- *)
+
+and plan_of_select_exn _lookup (s : Sql_ast.select) =
+  let base =
+    match s.Sql_ast.from with
+    | Sql_ast.From_table_fn { fn; params; table } ->
+        Plan.Table_fn_scan { fn; params; table }
+    | Sql_ast.Full_outer_join { left = lt, la; right = rt, ra; keys } ->
+        Plan.Full_outer_hash_join
+          {
+            build = Plan.Scan { table = lt; alias = la };
+            probe = Plan.Scan { table = rt; alias = ra };
+            build_keys =
+              List.map (fun k -> Sql_ast.Col { alias = la; column = k }) keys;
+            probe_keys =
+              List.map (fun k -> Sql_ast.Col { alias = ra; column = k }) keys;
+          }
+    | Sql_ast.Tables [] -> Plan.One_row
+    | Sql_ast.Tables tables ->
+        let consumed = Hashtbl.create 8 in
+        let joined, aliases =
+          List.fold_left
+            (fun (acc, aliases) (table, alias) ->
+              let scan = Plan.Scan { table; alias } in
+              match acc with
+              | None -> (Some scan, [ alias ])
+              | Some left ->
+                  (* Equalities linking the accumulated aliases to the
+                     new one become hash-join keys. *)
+                  let keys =
+                    List.filteri
+                      (fun i (a, b) ->
+                        if Hashtbl.mem consumed i then false
+                        else
+                          let aa = Sql_ast.expr_aliases a in
+                          let ab = Sql_ast.expr_aliases b in
+                          let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+                          (subset aa aliases && subset ab [ alias ])
+                          || (subset ab aliases && subset aa [ alias ]))
+                      s.Sql_ast.where
+                  in
+                  (* Mark them consumed and orient build/probe sides. *)
+                  List.iteri
+                    (fun i pair ->
+                      if List.memq pair keys then Hashtbl.replace consumed i ())
+                    s.Sql_ast.where;
+                  let build_keys, probe_keys =
+                    List.split
+                      (List.map
+                         (fun (a, b) ->
+                           let aa = Sql_ast.expr_aliases a in
+                           if List.for_all (fun x -> List.mem x aliases) aa
+                           then (a, b)
+                           else (b, a))
+                         keys)
+                  in
+                  ( Some
+                      (Plan.Hash_join
+                         { build = left; probe = scan; build_keys; probe_keys }),
+                    alias :: aliases ))
+            (None, []) tables
+        in
+        ignore aliases;
+        let joined = Option.get joined in
+        let residual =
+          List.filteri (fun i _ -> not (Hashtbl.mem consumed i)) s.Sql_ast.where
+        in
+        if residual = [] then joined
+        else Plan.Filter { input = joined; equalities = residual }
+  in
+  (* Aggregate or plain projection on top. *)
+  let aggregates =
+    List.filter (fun (e, _) -> Sql_ast.expr_is_aggregate e) s.Sql_ast.projections
+  in
+  match aggregates with
+  | [] ->
+      if s.Sql_ast.group_by <> [] then fail "GROUP BY without an aggregate";
+      Plan.Project { input = base; exprs = s.Sql_ast.projections }
+  | [ (Sql_ast.Agg_call (aggr, measure), measure_name) ] ->
+      let keys =
+        List.filter
+          (fun (e, _) -> not (Sql_ast.expr_is_aggregate e))
+          s.Sql_ast.projections
+      in
+      Plan.Aggregate { input = base; keys; aggr; measure; measure_name }
+  | _ -> fail "unsupported aggregate projection shape"
+
+let wrap f = try Ok (f ()) with Exec_error msg -> Error msg
+
+let no_views : view_env = Hashtbl.create 0
+
+let plan_of_select lookup s = wrap (fun () -> plan_of_select_exn lookup s)
+
+let rows_of_select db lookup s =
+  wrap (fun () -> execute db lookup no_views (plan_of_select_exn lookup s))
+
+let run_insert_with_views db lookup views (i : Sql_ast.insert) =
+  let rows =
+    execute db lookup views (plan_of_select_exn lookup i.Sql_ast.select)
+  in
+  let table =
+    match Database.find db i.Sql_ast.table with
+    | Some t -> t
+    | None ->
+        Database.create_table db ~name:i.Sql_ast.table ~columns:i.Sql_ast.columns
+  in
+  List.iter (Table.insert table) rows;
+  List.length rows
+
+let run_insert db lookup i =
+  wrap (fun () -> run_insert_with_views db lookup no_views i)
+
+let run_script db lookup script =
+  let rec loop total = function
+    | [] -> Ok total
+    | insert :: rest -> (
+        match run_insert db lookup insert with
+        | Ok n -> loop (total + n) rest
+        | Error msg ->
+            Error
+              (Printf.sprintf "in INSERT INTO %s: %s" insert.Sql_ast.table msg))
+  in
+  loop 0 script
+
+let run_statements db lookup statements =
+  let views : view_env = Hashtbl.create 8 in
+  let rec loop total = function
+    | [] -> Ok total
+    | Sql_ast.Create_view { name; select; _ } :: rest ->
+        Hashtbl.replace views name select;
+        loop total rest
+    | Sql_ast.Insert insert :: rest -> (
+        match wrap (fun () -> run_insert_with_views db lookup views insert) with
+        | Ok n -> loop (total + n) rest
+        | Error msg ->
+            Error
+              (Printf.sprintf "in INSERT INTO %s: %s" insert.Sql_ast.table msg))
+  in
+  loop 0 statements
+
+let run_mapping ?(views = `None) db mapping =
+  match Sql_gen.statements_of_mapping ~views mapping with
+  | Error msg -> Error msg
+  | Ok statements ->
+      run_statements db (Mappings.Mapping.target_schema mapping) statements

@@ -1,0 +1,88 @@
+type t =
+  | One_row
+  | Scan of { table : string; alias : string }
+  | Hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+  | Full_outer_hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+  | Filter of { input : t; equalities : (Sql_ast.expr * Sql_ast.expr) list }
+  | Project of { input : t; exprs : (Sql_ast.expr * string) list }
+  | Aggregate of {
+      input : t;
+      keys : (Sql_ast.expr * string) list;
+      aggr : Stats.Aggregate.t;
+      measure : Sql_ast.expr;
+      measure_name : string;
+    }
+  | Table_fn_scan of { fn : string; params : float list; table : string }
+
+let explain plan =
+  let buf = Buffer.create 256 in
+  let line depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let exprs es = String.concat ", " (List.map Sql_print.expr_to_string es) in
+  let rec go depth = function
+    | One_row -> line depth "ONE ROW"
+    | Scan { table; alias } ->
+        line depth
+          (if table = alias then Printf.sprintf "SCAN %s" table
+           else Printf.sprintf "SCAN %s AS %s" table alias)
+    | Hash_join { build; probe; build_keys; probe_keys } ->
+        line depth
+          (Printf.sprintf "HASH JOIN [%s] = [%s]" (exprs build_keys)
+             (exprs probe_keys));
+        go (depth + 1) build;
+        go (depth + 1) probe
+    | Full_outer_hash_join { build; probe; build_keys; probe_keys } ->
+        line depth
+          (Printf.sprintf "FULL OUTER HASH JOIN [%s] = [%s]" (exprs build_keys)
+             (exprs probe_keys));
+        go (depth + 1) build;
+        go (depth + 1) probe
+    | Filter { input; equalities } ->
+        line depth
+          (Printf.sprintf "FILTER %s"
+             (String.concat " AND "
+                (List.map
+                   (fun (a, b) ->
+                     Printf.sprintf "%s = %s" (Sql_print.expr_to_string a)
+                       (Sql_print.expr_to_string b))
+                   equalities)));
+        go (depth + 1) input
+    | Project { input; exprs = ps } ->
+        line depth
+          (Printf.sprintf "PROJECT %s"
+             (String.concat ", "
+                (List.map
+                   (fun (e, n) ->
+                     Printf.sprintf "%s AS %s" (Sql_print.expr_to_string e) n)
+                   ps)));
+        go (depth + 1) input
+    | Aggregate { input; keys; aggr; measure; measure_name } ->
+        line depth
+          (Printf.sprintf "AGGREGATE %s(%s) AS %s GROUP BY %s"
+             (Stats.Aggregate.to_string aggr)
+             (Sql_print.expr_to_string measure)
+             measure_name
+             (exprs (List.map fst keys)));
+        go (depth + 1) input
+    | Table_fn_scan { fn; params; table } ->
+        line depth
+          (Printf.sprintf "TABLE FUNCTION %s(%s%s)" fn table
+             (if params = [] then ""
+              else
+                "; " ^ String.concat ", " (List.map (Printf.sprintf "%g") params)))
+  in
+  go 0 plan;
+  Buffer.contents buf

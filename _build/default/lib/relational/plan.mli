@@ -1,0 +1,43 @@
+(** Physical query plans for the in-memory SQL engine.
+
+    The executor compiles each generated INSERT ... SELECT into a tree
+    of these operators: scans, hash joins on computed keys (covering
+    joins like [G1.Q = G2.Q - 1] from fused tgds), residual filters,
+    projections, sort-based grouping, and tabular-function scans. *)
+
+type t =
+  | One_row  (** a single zero-width row: FROM-less SELECT *)
+  | Scan of { table : string; alias : string }
+  | Hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+      (** Output rows are build-row ++ probe-row; rows whose key
+          evaluates to NULL never match (SQL join semantics, and the
+          chase's undefined-term semantics). *)
+  | Full_outer_hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+      (** Like {!Hash_join} plus the unmatched rows of both sides, the
+          missing side padded with NULLs. *)
+  | Filter of { input : t; equalities : (Sql_ast.expr * Sql_ast.expr) list }
+  | Project of { input : t; exprs : (Sql_ast.expr * string) list }
+  | Aggregate of {
+      input : t;
+      keys : (Sql_ast.expr * string) list;
+      aggr : Stats.Aggregate.t;
+      measure : Sql_ast.expr;
+      measure_name : string;
+    }
+      (** Input rows are sorted before bagging so order-sensitive
+          aggregates (first/last) are deterministic and agree with the
+          reference interpreter. *)
+  | Table_fn_scan of { fn : string; params : float list; table : string }
+
+val explain : t -> string
+(** Indented operator tree, e.g. for documentation and plan tests. *)

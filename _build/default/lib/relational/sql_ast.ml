@@ -1,0 +1,62 @@
+open Matrix
+
+type expr =
+  | Col of { alias : string; column : string }
+  | Lit of Value.t
+  | Binop of Ops.Binop.t * expr * expr
+  | Neg of expr
+  | Scalar_call of string * float list * expr
+  | Dim_call of string * expr
+  | Period_add of expr * int
+  | Agg_call of Stats.Aggregate.t * expr
+  | Coalesce of expr * expr
+
+type from_clause =
+  | Tables of (string * string) list
+  | From_table_fn of { fn : string; params : float list; table : string }
+  | Full_outer_join of {
+      left : string * string;
+      right : string * string;
+      keys : string list;
+    }
+
+type select = {
+  projections : (expr * string) list;
+  from : from_clause;
+  where : (expr * expr) list;
+  group_by : expr list;
+}
+
+type insert = { table : string; columns : string list; select : select }
+
+type statement =
+  | Insert of insert
+  | Create_view of { name : string; columns : string list; select : select }
+
+let expr_aliases e =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let rec go = function
+    | Col { alias; _ } ->
+        if not (Hashtbl.mem seen alias) then begin
+          Hashtbl.add seen alias ();
+          out := alias :: !out
+        end
+    | Lit _ -> ()
+    | Binop (_, a, b) | Coalesce (a, b) ->
+        go a;
+        go b
+    | Neg a | Scalar_call (_, _, a) | Dim_call (_, a) | Period_add (a, _)
+    | Agg_call (_, a) ->
+        go a
+  in
+  go e;
+  List.rev !out
+
+let rec expr_is_aggregate = function
+  | Agg_call _ -> true
+  | Col _ | Lit _ -> false
+  | Binop (_, a, b) | Coalesce (a, b) ->
+      expr_is_aggregate a || expr_is_aggregate b
+  | Neg a | Scalar_call (_, _, a) | Dim_call (_, a) | Period_add (a, _) ->
+      expr_is_aggregate a

@@ -1,0 +1,48 @@
+open Matrix
+
+(** Abstract syntax of the generated SQL (paper, Section 5.1).
+
+    A small dialect: INSERT INTO ... SELECT with equi-joins expressed in
+    the WHERE clause (the paper's style), GROUP BY with an aggregate
+    projection, and tabular functions in the FROM clause
+    ([FROM STL_T(GDP)]) for black-box operators. *)
+
+type expr =
+  | Col of { alias : string; column : string }
+  | Lit of Value.t
+  | Binop of Ops.Binop.t * expr * expr
+  | Neg of expr
+  | Scalar_call of string * float list * expr  (** scalar UDF: [LOG(2, x)] *)
+  | Dim_call of string * expr  (** dimension UDF: [QUARTER(d)] *)
+  | Period_add of expr * int  (** period/date arithmetic: [q + 1] *)
+  | Agg_call of Stats.Aggregate.t * expr  (** only in aggregate queries *)
+  | Coalesce of expr * expr  (** first non-NULL value *)
+
+type from_clause =
+  | Tables of (string * string) list  (** (table, alias); [] = one empty row *)
+  | From_table_fn of { fn : string; params : float list; table : string }
+  | Full_outer_join of {
+      left : string * string;  (** (table, alias) *)
+      right : string * string;
+      keys : string list;  (** equally named join columns *)
+    }
+
+type select = {
+  projections : (expr * string) list;  (** expression AS name *)
+  from : from_clause;
+  where : (expr * expr) list;  (** conjunction of equalities *)
+  group_by : expr list;
+}
+
+type insert = { table : string; columns : string list; select : select }
+
+type statement =
+  | Insert of insert
+  | Create_view of { name : string; columns : string list; select : select }
+      (** The Section 6 reformulation: intermediate cubes need not be
+          stored back — they can be views evaluated on demand. *)
+
+val expr_aliases : expr -> string list
+(** Table aliases referenced by the expression, without duplicates. *)
+
+val expr_is_aggregate : expr -> bool

@@ -1,0 +1,259 @@
+open Matrix
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+
+exception Gen_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Gen_error m)) fmt
+
+let columns_of_schema schema =
+  Schema.dim_names schema @ [ schema.Schema.measure_name ]
+
+(* Translate a term under a variable -> column-expression binding. *)
+let rec expr_of_term binding t =
+  match t with
+  | Term.Var v -> (
+      match List.assoc_opt v binding with
+      | Some e -> e
+      | None -> fail "variable %s is not bound by any atom" v)
+  | Term.Const c -> Sql_ast.Lit c
+  | Term.Shifted (t, k) -> Sql_ast.Period_add (expr_of_term binding t, k)
+  | Term.Dim_fn (fn, t) -> Sql_ast.Dim_call (fn, expr_of_term binding t)
+  | Term.Scalar_fn (fn, params, t) ->
+      Sql_ast.Scalar_call (fn, params, expr_of_term binding t)
+  | Term.Binapp (op, a, b) ->
+      Sql_ast.Binop (op, expr_of_term binding a, expr_of_term binding b)
+  | Term.Neg t -> Sql_ast.Neg (expr_of_term binding t)
+  | Term.Coalesce (a, b) ->
+      Sql_ast.Coalesce (expr_of_term binding a, expr_of_term binding b)
+
+let tuple_level_insert mapping lhs (rhs : Tgd.atom) =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping rhs.Tgd.rel in
+  let aliased =
+    List.mapi (fun i atom -> (Printf.sprintf "C%d" (i + 1), atom)) lhs
+  in
+  (* Pass 1: bind each variable to the first column where it occurs as a
+     plain variable. *)
+  let binding = ref [] in
+  List.iter
+    (fun (alias, (atom : Tgd.atom)) ->
+      let schema = Mappings.Mapping.target_schema_exn mapping atom.Tgd.rel in
+      List.iteri
+        (fun i term ->
+          match term with
+          | Term.Var v when not (List.mem_assoc v !binding) ->
+              let column = List.nth (columns_of_schema schema) i in
+              binding := (v, Sql_ast.Col { alias; column }) :: !binding
+          | _ -> ())
+        atom.Tgd.args)
+    aliased;
+  (* Pass 2: every other occurrence becomes a WHERE equality. *)
+  let where = ref [] in
+  List.iter
+    (fun (alias, (atom : Tgd.atom)) ->
+      let schema = Mappings.Mapping.target_schema_exn mapping atom.Tgd.rel in
+      List.iteri
+        (fun i term ->
+          let column = List.nth (columns_of_schema schema) i in
+          let here = Sql_ast.Col { alias; column } in
+          match term with
+          | Term.Var v ->
+              let bound = List.assoc v !binding in
+              if bound <> here then where := (here, bound) :: !where
+          | _ -> where := (here, expr_of_term !binding term) :: !where)
+        atom.Tgd.args)
+    aliased;
+  let columns = columns_of_schema target_schema in
+  let projections =
+    List.map2
+      (fun term column -> (expr_of_term !binding term, column))
+      rhs.Tgd.args columns
+  in
+  {
+    Sql_ast.table = rhs.Tgd.rel;
+    columns;
+    select =
+      {
+        Sql_ast.projections;
+        from = Sql_ast.Tables (List.map (fun (a, atom) -> (atom.Tgd.rel, a)) aliased);
+        where = List.rev !where;
+        group_by = [];
+      };
+  }
+
+let aggregation_insert mapping (source : Tgd.atom) group_by aggr measure target =
+  let source_schema = Mappings.Mapping.target_schema_exn mapping source.Tgd.rel in
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  (* The source atom uses plain variables (generated form), so variables
+     bind to bare columns; the paper omits the alias (FROM RGDP). *)
+  let binding =
+    List.map2
+      (fun term column ->
+        match term with
+        | Term.Var v -> (v, Sql_ast.Col { alias = ""; column })
+        | _ -> fail "aggregation source atom must use plain variables")
+      source.Tgd.args
+      (columns_of_schema source_schema)
+  in
+  let key_exprs = List.map (expr_of_term binding) group_by in
+  let columns = columns_of_schema target_schema in
+  let dim_columns = Schema.dim_names target_schema in
+  let projections =
+    List.map2 (fun e c -> (e, c)) key_exprs dim_columns
+    @ [
+        ( Sql_ast.Agg_call (aggr, List.assoc measure binding),
+          target_schema.Schema.measure_name );
+      ]
+  in
+  {
+    Sql_ast.table = target;
+    columns;
+    select =
+      {
+        Sql_ast.projections;
+        from = Sql_ast.Tables [ (source.Tgd.rel, source.Tgd.rel) ];
+        where = [];
+        group_by = key_exprs;
+      };
+  }
+
+let table_fn_insert mapping fn params source target =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  let columns = columns_of_schema target_schema in
+  {
+    Sql_ast.table = target;
+    columns;
+    select =
+      {
+        Sql_ast.projections =
+          List.map
+            (fun c -> (Sql_ast.Col { alias = ""; column = c }, c))
+            columns;
+        from = Sql_ast.From_table_fn { fn; params; table = source };
+        where = [];
+        group_by = [];
+      };
+  }
+
+(* vadd(A, B): FULL OUTER JOIN with COALESCE on dimensions (at least
+   one side is non-NULL) and on the measures (defaults). *)
+let outer_combine_insert mapping (left : Tgd.atom) (right : Tgd.atom) op default
+    target =
+  let target_schema = Mappings.Mapping.target_schema_exn mapping target in
+  let columns = columns_of_schema target_schema in
+  let keys = Schema.dim_names target_schema in
+  let la = "C1" and ra = "C2" in
+  let dim_projections =
+    List.map
+      (fun k ->
+        ( Sql_ast.Coalesce
+            (Sql_ast.Col { alias = la; column = k },
+             Sql_ast.Col { alias = ra; column = k }),
+          k ))
+      keys
+  in
+  let measure_of alias schema =
+    Sql_ast.Coalesce
+      ( Sql_ast.Col { alias; column = schema.Schema.measure_name },
+        Sql_ast.Lit (Value.Float default) )
+  in
+  let left_schema = Mappings.Mapping.target_schema_exn mapping left.Tgd.rel in
+  let right_schema = Mappings.Mapping.target_schema_exn mapping right.Tgd.rel in
+  let measure =
+    Sql_ast.Binop (op, measure_of la left_schema, measure_of ra right_schema)
+  in
+  {
+    Sql_ast.table = target;
+    columns;
+    select =
+      {
+        Sql_ast.projections =
+          dim_projections @ [ (measure, target_schema.Schema.measure_name) ];
+        from =
+          Sql_ast.Full_outer_join
+            { left = (left.Tgd.rel, la); right = (right.Tgd.rel, ra); keys };
+        where = [];
+        group_by = [];
+      };
+  }
+
+let insert_of_tgd mapping tgd =
+  try
+    Ok
+      (match tgd with
+      | Tgd.Tuple_level { lhs; rhs } -> tuple_level_insert mapping lhs rhs
+      | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
+          aggregation_insert mapping source group_by aggr measure target
+      | Tgd.Table_fn { fn; params; source; target } ->
+          table_fn_insert mapping fn params source target
+      | Tgd.Outer_combine { left; right; op; default; target } ->
+          outer_combine_insert mapping left right op default target)
+  with Gen_error msg -> Error msg
+
+let script_of_mapping mapping =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | tgd :: rest -> (
+        match insert_of_tgd mapping tgd with
+        | Ok i -> loop (i :: acc) rest
+        | Error msg ->
+            Error (Printf.sprintf "on tgd [%s]: %s" (Tgd.to_string tgd) msg))
+  in
+  loop [] mapping.Mappings.Mapping.t_tgds
+
+let statements_of_mapping ?(views = `None) mapping =
+  match script_of_mapping mapping with
+  | Error _ as e -> e
+  | Ok inserts ->
+      Ok
+        (List.map
+           (fun (i : Sql_ast.insert) ->
+             let is_temp = Exl.Normalize.is_temp i.Sql_ast.table in
+             match views with
+             | `Temporaries when is_temp ->
+                 Sql_ast.Create_view
+                   {
+                     name = i.Sql_ast.table;
+                     columns = i.Sql_ast.columns;
+                     select = i.Sql_ast.select;
+                   }
+             | _ -> Sql_ast.Insert i)
+           inserts)
+
+let sql_type = function
+  | Domain.Bool -> "BOOLEAN"
+  | Domain.Int -> "INTEGER"
+  | Domain.Float -> "DOUBLE PRECISION"
+  | Domain.String -> "VARCHAR(255)"
+  | Domain.Date -> "DATE"
+  | Domain.Period _ -> "PERIOD"
+  | Domain.Any -> "VARCHAR(255)"
+
+let ddl_of_mapping mapping =
+  let create schema =
+    let dims =
+      Array.to_list schema.Schema.dims
+      |> List.map (fun d ->
+             Printf.sprintf "  %s %s NOT NULL"
+               (String.uppercase_ascii d.Schema.dim_name)
+               (sql_type d.Schema.dim_domain))
+    in
+    let measure =
+      Printf.sprintf "  %s %s"
+        (String.uppercase_ascii schema.Schema.measure_name)
+        (sql_type schema.Schema.measure_domain)
+    in
+    let pk =
+      if Schema.arity schema = 0 then []
+      else
+        [
+          Printf.sprintf "  PRIMARY KEY (%s)"
+            (String.concat ", "
+               (List.map String.uppercase_ascii (Schema.dim_names schema)));
+        ]
+    in
+    Printf.sprintf "CREATE TABLE %s (\n%s\n);"
+      (String.uppercase_ascii schema.Schema.name)
+      (String.concat ",\n" (dims @ [ measure ] @ pk))
+  in
+  String.concat "\n\n" (List.map create mapping.Mappings.Mapping.target) ^ "\n"

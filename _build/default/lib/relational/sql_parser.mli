@@ -1,0 +1,14 @@
+(** Parser for the generated SQL dialect.
+
+    Covers exactly what {!Sql_print} emits — INSERT ... SELECT with
+    comma joins and WHERE equalities, GROUP BY, tabular functions,
+    FULL OUTER JOIN, COALESCE, CREATE VIEW — so every generated script
+    round-trips ([parse (print s) = s], property-tested).  This is what
+    lets EXLEngine treat SQL artifacts as data: scripts can be stored in
+    the metadata catalog as text and reloaded for execution. *)
+
+val parse_script : string -> (Sql_ast.statement list, string) result
+(** Parses a [;]-separated script. *)
+
+val parse_statement : string -> (Sql_ast.statement, string) result
+val parse_expr : string -> (Sql_ast.expr, string) result

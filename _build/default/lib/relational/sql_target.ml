@@ -1,0 +1,38 @@
+open Matrix
+
+let mapping_of ?(fused = false) checked =
+  Result.map
+    (fun (g : Mappings.Generate.generated) ->
+      let m = g.Mappings.Generate.mapping in
+      if fused then Mappings.Fuse.mapping m else m)
+    (Mappings.Generate.of_checked checked)
+
+let run_program ?fused ?views checked registry =
+  Result.bind (mapping_of ?fused checked) (fun mapping ->
+      let db = Database.create () in
+      List.iter
+        (fun schema ->
+          let cube =
+            match Registry.find registry schema.Schema.name with
+            | Some c -> Cube.with_schema schema c
+            | None -> Cube.create schema
+          in
+          Database.load_cube db cube)
+        mapping.Mappings.Mapping.source;
+      match Executor.run_mapping ?views db mapping with
+      | Error msg -> Error (Exl.Errors.make ("SQL target: " ^ msg))
+      | Ok _rows ->
+          Exl.Errors.protect (fun () ->
+              let elementary =
+                List.map
+                  (fun s -> s.Schema.name)
+                  mapping.Mappings.Mapping.source
+              in
+              Database.to_registry db ~schemas:mapping.Mappings.Mapping.target
+                ~elementary))
+
+let script_of_program ?fused ?(views = `None) checked =
+  Result.bind (mapping_of ?fused checked) (fun mapping ->
+      match Sql_gen.statements_of_mapping ~views mapping with
+      | Error msg -> Error (Exl.Errors.make ("SQL generation: " ^ msg))
+      | Ok statements -> Ok (Sql_print.statements_to_string statements))

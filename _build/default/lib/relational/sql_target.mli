@@ -1,0 +1,25 @@
+open Matrix
+
+(** The DBMS target system, end to end: EXL program → mapping → SQL →
+    executed against the in-memory engine → cubes. *)
+
+val run_program :
+  ?fused:bool ->
+  ?views:[ `None | `Temporaries ] ->
+  Exl.Typecheck.checked ->
+  Registry.t ->
+  (Registry.t, Exl.Errors.t) result
+(** Translate and execute the program on the SQL engine, loading the
+    elementary cubes from [registry].  With [fused] (default [false])
+    the mapping is fusion-simplified first, so no intermediate tables
+    are materialized for normalizer temporaries; with
+    [views:`Temporaries] they become CREATE VIEW instead (the paper's
+    Section 6 reformulation). *)
+
+val script_of_program :
+  ?fused:bool ->
+  ?views:[ `None | `Temporaries ] ->
+  Exl.Typecheck.checked ->
+  (string, Exl.Errors.t) result
+(** The SQL text that [run_program] executes (what EXLEngine would ship
+    to an external DBMS). *)

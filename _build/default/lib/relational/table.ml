@@ -1,0 +1,60 @@
+open Matrix
+
+type t = {
+  name : string;
+  columns : string list;
+  mutable rev_rows : Value.t array list;
+  mutable count : int;
+}
+
+let create ~name ~columns = { name; columns; rev_rows = []; count = 0 }
+let name t = t.name
+let columns t = t.columns
+let width t = List.length t.columns
+let row_count t = t.count
+
+let insert t row =
+  if Array.length row <> width t then
+    invalid_arg
+      (Printf.sprintf "Table.insert: row of width %d into %s(%s)"
+         (Array.length row) t.name
+         (String.concat ", " t.columns));
+  t.rev_rows <- row :: t.rev_rows;
+  t.count <- t.count + 1
+
+let rows t = List.rev t.rev_rows
+
+let clear t =
+  t.rev_rows <- [];
+  t.count <- 0
+
+let of_cube cube =
+  let schema = Cube.schema cube in
+  let t =
+    create ~name:schema.Schema.name
+      ~columns:(Schema.dim_names schema @ [ schema.Schema.measure_name ])
+  in
+  List.iter (fun (k, v) -> insert t (Tuple.append k v)) (Cube.to_alist cube);
+  t
+
+let to_cube schema t =
+  let n = Schema.arity schema in
+  let cube = Cube.create schema in
+  List.iter
+    (fun row ->
+      let key = Tuple.of_array (Array.sub row 0 n) in
+      Cube.add_strict cube key row.(n))
+    (rows t);
+  cube
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s(%s) [%d rows]" t.name
+    (String.concat ", " t.columns)
+    t.count;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "@,%s"
+        (String.concat " | "
+           (List.map Value.to_string (Array.to_list row))))
+    (rows t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+open Matrix
+
+(** In-memory relational tables (bag semantics).
+
+    Unlike {!Matrix.Cube}, a table does not enforce functionality — the
+    DBMS substrate stores whatever the generated SQL inserts, and cube
+    conversion applies the egd check at the boundary, like a production
+    system would with a unique constraint. *)
+
+type t
+
+val create : name:string -> columns:string list -> t
+val name : t -> string
+val columns : t -> string list
+val width : t -> int
+val row_count : t -> int
+val insert : t -> Value.t array -> unit
+(** @raise Invalid_argument on width mismatch. *)
+
+val rows : t -> Value.t array list
+(** In insertion order. *)
+
+val clear : t -> unit
+val of_cube : Cube.t -> t
+(** Columns are the dimension names followed by the measure name;
+    rows in sorted key order. *)
+
+val to_cube : Schema.t -> t -> Cube.t
+(** @raise Cube.Functionality_violation when rows conflict. *)
+
+val pp : Format.formatter -> t -> unit

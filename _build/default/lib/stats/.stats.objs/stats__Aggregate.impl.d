@@ -1,0 +1,1 @@
+lib/stats/aggregate.ml: Array Descriptive Format String

@@ -1,0 +1,1 @@
+lib/stats/decompose.ml: Array Descriptive Float Interpolate Loess Moving Printf Stdlib

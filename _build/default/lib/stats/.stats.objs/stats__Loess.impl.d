@@ -1,0 +1,1 @@
+lib/stats/loess.ml: Array Float Fun Regression Stdlib

@@ -1,0 +1,68 @@
+type t =
+  | Sum
+  | Avg
+  | Min
+  | Max
+  | Count
+  | Median
+  | Stddev
+  | Variance
+  | Product
+  | First
+  | Last
+
+let all =
+  [ Sum; Avg; Min; Max; Count; Median; Stddev; Variance; Product; First; Last ]
+
+let to_string = function
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+  | Count -> "count"
+  | Median -> "median"
+  | Stddev -> "stddev"
+  | Variance -> "variance"
+  | Product -> "product"
+  | First -> "first"
+  | Last -> "last"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "sum" -> Some Sum
+  | "avg" | "mean" | "average" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "count" -> Some Count
+  | "median" -> Some Median
+  | "stddev" | "sd" -> Some Stddev
+  | "variance" | "var" -> Some Variance
+  | "product" | "prod" -> Some Product
+  | "first" -> Some First
+  | "last" -> Some Last
+  | _ -> None
+
+let apply t bag =
+  match bag with
+  | [] -> invalid_arg "Aggregate.apply: empty bag"
+  | _ -> (
+      let a = Array.of_list bag in
+      match t with
+      | Sum -> Descriptive.sum a
+      | Avg -> Descriptive.mean a
+      | Min -> Descriptive.min a
+      | Max -> Descriptive.max a
+      | Count -> float_of_int (Array.length a)
+      | Median -> Descriptive.median a
+      | Stddev -> Descriptive.stddev a
+      | Variance -> Descriptive.variance a
+      | Product -> Descriptive.product a
+      | First -> a.(0)
+      | Last -> a.(Array.length a - 1))
+
+let is_order_sensitive = function
+  | First | Last -> true
+  | Sum | Avg | Min | Max | Count | Median | Stddev | Variance | Product ->
+      false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

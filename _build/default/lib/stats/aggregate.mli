@@ -1,0 +1,33 @@
+(** EXL aggregation operators over bags of measures.
+
+    The paper's aggregation semantics (Section 3): the result of applying
+    [aggr] to the {e bag} (repeated elements are meaningful) of measure
+    values sharing a group-by key. The result tuple exists only when the
+    bag is non-empty, which is why [apply] is never called on []. *)
+
+type t =
+  | Sum
+  | Avg
+  | Min
+  | Max
+  | Count
+  | Median
+  | Stddev
+  | Variance
+  | Product
+  | First
+  | Last
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val apply : t -> float list -> float
+(** @raise Invalid_argument on the empty bag. [First]/[Last] follow the
+    list order the caller accumulated (deterministic in our engines:
+    sorted key order). *)
+
+val is_order_sensitive : t -> bool
+(** True for [First]/[Last]: engines must feed the bag in key order. *)
+
+val pp : Format.formatter -> t -> unit

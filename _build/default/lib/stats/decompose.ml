@@ -1,0 +1,108 @@
+type components = {
+  trend : float array;
+  seasonal : float array;
+  remainder : float array;
+}
+
+type method_ = Classical | Stl
+
+let check ~period a =
+  if period < 2 then invalid_arg "Decompose: period must be >= 2";
+  if Array.length a < 2 * period then
+    invalid_arg
+      (Printf.sprintf
+         "Decompose: series of length %d too short for period %d (need >= %d)"
+         (Array.length a) period (2 * period))
+
+(* Mean seasonal figure per phase of the detrended series, centred so the
+   seasonal component sums to zero over one period. *)
+let seasonal_figure ~period detrended =
+  let sums = Array.make period 0. and counts = Array.make period 0 in
+  Array.iteri
+    (fun i x ->
+      if not (Float.is_nan x) then begin
+        let phase = i mod period in
+        sums.(phase) <- sums.(phase) +. x;
+        counts.(phase) <- counts.(phase) + 1
+      end)
+    detrended;
+  let figure =
+    Array.init period (fun ph ->
+        if counts.(ph) = 0 then 0. else sums.(ph) /. float_of_int counts.(ph))
+  in
+  let mean = Descriptive.mean figure in
+  Array.map (fun x -> x -. mean) figure
+
+let classical ~period a =
+  check ~period a;
+  let n = Array.length a in
+  let trend = Interpolate.fill_linear (Moving.centered_average ~window:period a) in
+  let detrended = Array.init n (fun i -> a.(i) -. trend.(i)) in
+  let figure = seasonal_figure ~period detrended in
+  let seasonal = Array.init n (fun i -> figure.(i mod period)) in
+  let remainder = Array.init n (fun i -> a.(i) -. trend.(i) -. seasonal.(i)) in
+  { trend; seasonal; remainder }
+
+(* STL-style decomposition with "periodic" seasonality, following the
+   inner-loop structure of Cleveland's STL:
+     (1) cycle-subseries estimation on the detrended series (periodic
+         window: each phase's mean),
+     (2) low-pass filtering of that estimate, subtracted to stop trend
+         leaking into the seasonal component,
+     (3) loess smoothing of the deseasonalized series for the trend.
+   Simplified vs. full STL: no robustness weights. *)
+let stl ?(inner_iterations = 5) ?trend_span ~period a =
+  check ~period a;
+  let n = Array.length a in
+  let trend_span =
+    match trend_span with
+    | Some s -> Stdlib.max 3 s
+    | None -> Stdlib.max 3 ((3 * period / 2) + 1)
+  in
+  let seasonal = Array.make n 0. in
+  let trend = ref (Array.make n 0.) in
+  for _ = 1 to inner_iterations do
+    let detrended = Array.init n (fun i -> a.(i) -. !trend.(i)) in
+    (* (1) periodic cycle-subseries estimate: each phase's mean (the
+       low-pass step below takes care of centring, as in STL proper). *)
+    let cycle = Array.make n 0. in
+    let phase_counts = Array.make period 0 in
+    let phase_sums = Array.make period 0. in
+    Array.iteri
+      (fun i x ->
+        phase_sums.(i mod period) <- phase_sums.(i mod period) +. x;
+        phase_counts.(i mod period) <- phase_counts.(i mod period) + 1)
+      detrended;
+    for i = 0 to n - 1 do
+      let ph = i mod period in
+      cycle.(i) <-
+        (if phase_counts.(ph) = 0 then 0.
+         else phase_sums.(ph) /. float_of_int phase_counts.(ph))
+    done;
+    (* (2) low-pass filter of the cycle-subseries estimate. *)
+    let low_pass =
+      Interpolate.fill_linear (Moving.centered_average ~window:period cycle)
+    in
+    for i = 0 to n - 1 do
+      seasonal.(i) <- cycle.(i) -. low_pass.(i)
+    done;
+    (* (3) trend from the deseasonalized series. *)
+    let deseasonalized = Array.init n (fun i -> a.(i) -. seasonal.(i)) in
+    trend := Loess.smooth ~span:trend_span deseasonalized
+  done;
+  let trend = !trend in
+  let remainder = Array.init n (fun i -> a.(i) -. trend.(i) -. seasonal.(i)) in
+  { trend; seasonal; remainder }
+
+let decompose ?(method_ = Stl) ~period a =
+  match method_ with
+  | Classical -> classical ~period a
+  | Stl -> stl ~period a
+
+let trend ?method_ ~period a = (decompose ?method_ ~period a).trend
+let seasonal ?method_ ~period a = (decompose ?method_ ~period a).seasonal
+let remainder ?method_ ~period a = (decompose ?method_ ~period a).remainder
+
+let deseasonalize ?method_ ~period a =
+  let c = decompose ?method_ ~period a in
+  Array.init (Array.length a) (fun i -> a.(i) -. c.seasonal.(i))

@@ -1,0 +1,71 @@
+let trailing_average ~window a =
+  if window <= 0 then invalid_arg "Moving.trailing_average: window <= 0";
+  let n = Array.length a in
+  let out = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. a.(i);
+    if i >= window then acc := !acc -. a.(i - window);
+    let len = Stdlib.min (i + 1) window in
+    out.(i) <- !acc /. float_of_int len
+  done;
+  out
+
+let centered_average ~window a =
+  if window <= 0 then invalid_arg "Moving.centered_average: window <= 0";
+  let n = Array.length a in
+  let out = Array.make n Float.nan in
+  if window mod 2 = 1 then begin
+    let half = window / 2 in
+    for i = half to n - 1 - half do
+      let acc = ref 0. in
+      for j = i - half to i + half do
+        acc := !acc +. a.(j)
+      done;
+      out.(i) <- !acc /. float_of_int window
+    done
+  end
+  else begin
+    (* 2 x w MA: endpoints of the (w+1)-wide window weigh 1/2. *)
+    let half = window / 2 in
+    for i = half to n - 1 - half do
+      let acc = ref ((a.(i - half) +. a.(i + half)) /. 2.) in
+      for j = i - half + 1 to i + half - 1 do
+        acc := !acc +. a.(j)
+      done;
+      out.(i) <- !acc /. float_of_int window
+    done
+  end;
+  out
+
+let diff ?(lag = 1) a =
+  if lag <= 0 then invalid_arg "Moving.diff: lag <= 0";
+  let n = Array.length a in
+  Array.init n (fun i -> if i < lag then Float.nan else a.(i) -. a.(i - lag))
+
+let cumsum a =
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc)
+    a
+
+let pct_change ?(lag = 1) a =
+  if lag <= 0 then invalid_arg "Moving.pct_change: lag <= 0";
+  let n = Array.length a in
+  Array.init n (fun i ->
+      if i < lag || a.(i - lag) = 0. then Float.nan
+      else 100. *. (a.(i) -. a.(i - lag)) /. a.(i - lag))
+
+let ewma ~alpha a =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Moving.ewma: alpha not in (0,1]";
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n a.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- (alpha *. a.(i)) +. ((1. -. alpha) *. out.(i - 1))
+    done;
+    out
+  end

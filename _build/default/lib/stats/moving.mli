@@ -1,0 +1,25 @@
+(** Moving-window transforms on series vectors.
+
+    Used both directly (EXL black-box operators [ma], [diff], [cumsum])
+    and by the classical seasonal decomposition, whose trend estimate is
+    a centered moving average of one seasonal period. *)
+
+val trailing_average : window:int -> float array -> float array
+(** [out.(i)] = mean of the last [window] values ending at [i]; the first
+    [window-1] positions average the shorter available prefix. *)
+
+val centered_average : window:int -> float array -> float array
+(** Centered moving average; for even windows uses the standard 2x[w] MA
+    (half weights at the extremes, as in classical decomposition).
+    Positions without a full window are NaN. *)
+
+val diff : ?lag:int -> float array -> float array
+(** [out.(i) = a.(i) - a.(i-lag)]; the first [lag] positions are NaN.
+    Output has the same length as the input. *)
+
+val cumsum : float array -> float array
+val pct_change : ?lag:int -> float array -> float array
+(** 100 * (a.(i) - a.(i-lag)) / a.(i-lag); NaN where undefined. *)
+
+val ewma : alpha:float -> float array -> float array
+(** Exponentially weighted moving average, [alpha] in (0, 1]. *)

@@ -1,0 +1,1 @@
+lib/vector/frame.ml: Array Cube Format Hashtbl List Matrix Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/vector/frame.mli: Cube Format Matrix Schema Value

@@ -1,0 +1,1 @@
+lib/vector/frame_ops.ml: Array Calendar Cube Frame List Matrix Ops Option Printf Stats Tuple Value

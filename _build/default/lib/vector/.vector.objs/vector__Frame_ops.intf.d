@@ -1,0 +1,1 @@
+lib/vector/frame_ops.mli: Frame Matrix Ops Schema Stats Value

@@ -1,0 +1,1 @@
+lib/vector/matlab_print.ml: Calendar Frame_ops Hashtbl List Matrix Ops Printf Schema Script Stats String Value

@@ -1,0 +1,1 @@
+lib/vector/matlab_print.mli: Matrix Schema Script

@@ -1,0 +1,1 @@
+lib/vector/r_print.ml: Calendar Frame_ops List Matrix Ops Printf Script Stats String Value

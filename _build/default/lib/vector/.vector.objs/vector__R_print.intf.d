@@ -1,0 +1,1 @@
+lib/vector/r_print.mli: Script

@@ -1,0 +1,1 @@
+lib/vector/script.ml: Frame_ops Hashtbl List Matrix Stats Value

@@ -1,0 +1,1 @@
+lib/vector/script.mli: Frame_ops Matrix Stats Value

@@ -1,0 +1,1 @@
+lib/vector/script_gen.ml: Frame_ops List Mappings Matrix Option Printf Schema Script Value

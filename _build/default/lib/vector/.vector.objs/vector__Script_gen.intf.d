@@ -1,0 +1,1 @@
+lib/vector/script_gen.mli: Mappings Script

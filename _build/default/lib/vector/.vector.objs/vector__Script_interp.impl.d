@@ -1,0 +1,1 @@
+lib/vector/script_interp.ml: Array Frame Frame_ops Hashtbl List Matrix Printf Script Value

@@ -1,0 +1,1 @@
+lib/vector/script_interp.mli: Frame Matrix Schema Script

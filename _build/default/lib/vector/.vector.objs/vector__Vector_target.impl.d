@@ -1,0 +1,1 @@
+lib/vector/vector_target.ml: Cube Exl Frame List Mappings Matlab_print Matrix Printf R_print Registry Result Schema Script_gen Script_interp String

@@ -1,0 +1,1 @@
+lib/vector/vector_target.mli: Exl Matrix Registry

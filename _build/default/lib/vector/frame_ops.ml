@@ -1,0 +1,238 @@
+open Matrix
+
+let merge ~by left right =
+  List.iter
+    (fun k ->
+      if not (Frame.has_column left k) then
+        invalid_arg ("Frame_ops.merge: left side lacks key " ^ k);
+      if not (Frame.has_column right k) then
+        invalid_arg ("Frame_ops.merge: right side lacks key " ^ k))
+    by;
+  let clash c =
+    (not (List.mem c by))
+    && Frame.has_column left c
+    && Frame.has_column right c
+  in
+  let left_out =
+    List.map (fun c -> (c, (if clash c then c ^ "_x" else c))) (Frame.columns left)
+  in
+  let right_out =
+    List.filter_map
+      (fun c ->
+        if List.mem c by then None
+        else Some (c, if clash c then c ^ "_y" else c))
+      (Frame.columns right)
+  in
+  let key_of frame cols i =
+    let vals = List.map (fun c -> (Frame.column frame c).(i)) cols in
+    if List.exists Value.is_null vals then None else Some (Tuple.of_list vals)
+  in
+  (* Hash the left side, probe with the right, accumulate row index
+     pairs in left-major sorted-ish order (left build preserves order). *)
+  let index : int list Tuple.Table.t = Tuple.Table.create 256 in
+  for i = Frame.length left - 1 downto 0 do
+    match key_of left by i with
+    | None -> ()
+    | Some k ->
+        let prev = Option.value ~default:[] (Tuple.Table.find_opt index k) in
+        Tuple.Table.replace index k (i :: prev)
+  done;
+  let pairs = ref [] in
+  for j = Frame.length right - 1 downto 0 do
+    match key_of right by j with
+    | None -> ()
+    | Some k ->
+        List.iter
+          (fun i -> pairs := (i, j) :: !pairs)
+          (List.rev (Option.value ~default:[] (Tuple.Table.find_opt index k)))
+  done;
+  let pairs = Array.of_list !pairs in
+  let n = Array.length pairs in
+  let out_cols =
+    List.map
+      (fun (src, dst) ->
+        let col = Frame.column left src in
+        (dst, Array.init n (fun p -> col.(fst pairs.(p)))))
+      left_out
+    @ List.map
+        (fun (src, dst) ->
+          let col = Frame.column right src in
+          (dst, Array.init n (fun p -> col.(snd pairs.(p)))))
+        right_out
+  in
+  Frame.create out_cols
+
+(* Full outer merge: like [merge] plus unmatched rows from both sides.
+   Key columns take the defined side's values. *)
+let merge_outer ~by left right =
+  List.iter
+    (fun k ->
+      if not (Frame.has_column left k) then
+        invalid_arg ("Frame_ops.merge_outer: left side lacks key " ^ k);
+      if not (Frame.has_column right k) then
+        invalid_arg ("Frame_ops.merge_outer: right side lacks key " ^ k))
+    by;
+  let clash c =
+    (not (List.mem c by)) && Frame.has_column left c && Frame.has_column right c
+  in
+  let left_nonkey =
+    List.filter_map
+      (fun c ->
+        if List.mem c by then None
+        else Some (c, if clash c then c ^ "_x" else c))
+      (Frame.columns left)
+  in
+  let right_nonkey =
+    List.filter_map
+      (fun c ->
+        if List.mem c by then None
+        else Some (c, if clash c then c ^ "_y" else c))
+      (Frame.columns right)
+  in
+  let key_of frame i =
+    let vals = List.map (fun c -> (Frame.column frame c).(i)) by in
+    if List.exists Value.is_null vals then None else Some (Tuple.of_list vals)
+  in
+  let index : int list Tuple.Table.t = Tuple.Table.create 256 in
+  for i = Frame.length left - 1 downto 0 do
+    match key_of left i with
+    | None -> ()
+    | Some k ->
+        let prev = Option.value ~default:[] (Tuple.Table.find_opt index k) in
+        Tuple.Table.replace index k (i :: prev)
+  done;
+  let matched_left : unit Tuple.Table.t = Tuple.Table.create 256 in
+  (* (left row index option, right row index option) *)
+  let pairs = ref [] in
+  for j = Frame.length right - 1 downto 0 do
+    match key_of right j with
+    | None -> pairs := (None, Some j) :: !pairs
+    | Some k -> (
+        match Tuple.Table.find_opt index k with
+        | Some matches ->
+            Tuple.Table.replace matched_left k ();
+            List.iter (fun i -> pairs := (Some i, Some j) :: !pairs) (List.rev matches)
+        | None -> pairs := (None, Some j) :: !pairs)
+  done;
+  for i = Frame.length left - 1 downto 0 do
+    (match key_of left i with
+    | Some k when Tuple.Table.mem matched_left k -> ()
+    | _ -> pairs := (Some i, None) :: !pairs)
+  done;
+  let pairs = Array.of_list !pairs in
+  let n = Array.length pairs in
+  let key_cols =
+    List.map
+      (fun k ->
+        let lcol = Frame.column left k and rcol = Frame.column right k in
+        ( k,
+          Array.init n (fun p ->
+              match pairs.(p) with
+              | Some i, _ -> lcol.(i)
+              | None, Some j -> rcol.(j)
+              | None, None -> Value.Null) ))
+      by
+  in
+  let side cols frame proj =
+    List.map
+      (fun (src, dst) ->
+        let col = Frame.column frame src in
+        ( dst,
+          Array.init n (fun p ->
+              match proj pairs.(p) with Some i -> col.(i) | None -> Value.Null) ))
+      cols
+  in
+  Frame.create
+    (key_cols
+    @ side left_nonkey left (fun (i, _) -> i)
+    @ side right_nonkey right (fun (_, j) -> j))
+
+type col_expr =
+  | Col of string
+  | Lit of Value.t
+  | Bin of Ops.Binop.t * col_expr * col_expr
+  | Neg of col_expr
+  | Scalar of string * float list * col_expr
+  | Dim of string * col_expr
+  | Shift_val of col_expr * int
+  | Coalesce_col of col_expr * col_expr
+
+let shift_value amount = function
+  | Value.Period p -> Value.Period (Calendar.Period.shift p amount)
+  | Value.Date d -> Value.Date (Calendar.Date.add_days d amount)
+  | Value.(Null | Bool _ | Int _ | Float _ | String _) -> Value.Null
+
+let rec eval_col frame expr : Value.t array =
+  let n = Frame.length frame in
+  match expr with
+  | Col c -> Frame.column frame c
+  | Lit v -> Array.make n v
+  | Bin (op, a, b) ->
+      let va = eval_col frame a and vb = eval_col frame b in
+      Array.init n (fun i -> Ops.Binop.eval_value op va.(i) vb.(i))
+  | Neg a ->
+      let va = eval_col frame a in
+      Array.map
+        (fun v ->
+          match Value.to_float v with
+          | Some f -> Value.of_float (-.f)
+          | None -> Value.Null)
+        va
+  | Scalar (fn, params, a) ->
+      let f = Ops.Scalar_fn.find_exn fn in
+      Array.map (Ops.Scalar_fn.apply_value f ~params) (eval_col frame a)
+  | Dim (fn, a) ->
+      let f = Ops.Dim_fn.find_exn fn in
+      Array.map
+        (fun v -> Option.value ~default:Value.Null (Ops.Dim_fn.apply f v))
+        (eval_col frame a)
+  | Shift_val (a, k) -> Array.map (shift_value k) (eval_col frame a)
+  | Coalesce_col (a, b) ->
+      let va = eval_col frame a and vb = eval_col frame b in
+      Array.init n (fun i -> if Value.is_null va.(i) then vb.(i) else va.(i))
+
+let group_aggregate ~by ~aggr ~measure frame =
+  let sorted = Frame.sort_rows frame in
+  let keys = List.map (fun (_, e) -> eval_col sorted e) by in
+  let measures = eval_col sorted measure in
+  let groups : float list ref Tuple.Table.t = Tuple.Table.create 64 in
+  let order = ref [] in
+  for i = 0 to Frame.length sorted - 1 do
+    let key_vals = List.map (fun col -> col.(i)) keys in
+    if not (List.exists Value.is_null key_vals) then
+      let key = Tuple.of_list key_vals in
+      match Value.to_float measures.(i) with
+      | None -> ()
+      | Some m -> (
+          match Tuple.Table.find_opt groups key with
+          | Some bag -> bag := m :: !bag
+          | None ->
+              Tuple.Table.replace groups key (ref [ m ]);
+              order := key :: !order)
+  done;
+  let result_keys = Array.of_list (List.rev !order) in
+  let n = Array.length result_keys in
+  let key_cols =
+    List.mapi
+      (fun ci (name, _) ->
+        (name, Array.init n (fun i -> Tuple.get result_keys.(i) ci)))
+      by
+  in
+  let agg_col =
+    Array.init n (fun i ->
+        let bag = List.rev !(Tuple.Table.find groups result_keys.(i)) in
+        Value.of_float (Stats.Aggregate.apply aggr bag))
+  in
+  Frame.create (key_cols @ [ ("value", agg_col) ])
+
+let apply_blackbox ~schema ~fn ~params frame =
+  match Ops.Blackbox.find fn with
+  | None -> Error ("unknown black-box operator " ^ fn)
+  | Some op -> (
+      match Ops.Blackbox.apply_cube op ~params (Frame.to_cube schema frame) with
+      | Error _ as e -> e
+      | Ok cube -> Ok (Frame.of_cube cube)
+      | exception Cube.Functionality_violation { cube; key } ->
+          Error
+            (Printf.sprintf "functionality violation in %s at %s" cube
+               (Tuple.to_string key)))

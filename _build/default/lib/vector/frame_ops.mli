@@ -1,0 +1,50 @@
+open Matrix
+
+(** Whole-frame operations mirroring the R/Matlab operators the paper's
+    translations rely on: [merge] (join), element-wise column
+    arithmetic, [aggregate], and series-level black boxes. *)
+
+val merge : by:string list -> Frame.t -> Frame.t -> Frame.t
+(** Inner join on the [by] columns (the R [merge] operator).  Non-key
+    columns that exist on both sides are suffixed [_x] / [_y], as R
+    does.  Rows with a [Null] key never match. *)
+
+val merge_outer : by:string list -> Frame.t -> Frame.t -> Frame.t
+(** Full outer variant (R's [merge(..., all = TRUE)]): unmatched rows of
+    either side appear with [Null] in the other side's non-key columns;
+    key columns are coalesced. *)
+
+type col_expr =
+  | Col of string
+  | Lit of Value.t
+  | Bin of Ops.Binop.t * col_expr * col_expr
+  | Neg of col_expr
+  | Scalar of string * float list * col_expr
+  | Dim of string * col_expr
+  | Shift_val of col_expr * int
+      (** shift of the {e values} of a temporal column (q + 1). *)
+  | Coalesce_col of col_expr * col_expr  (** first non-null *)
+
+val eval_col : Frame.t -> col_expr -> Value.t array
+(** Element-wise evaluation; undefined entries are [Null]. *)
+
+val group_aggregate :
+  by:(string * col_expr) list ->
+  aggr:Stats.Aggregate.t ->
+  measure:col_expr ->
+  Frame.t ->
+  Frame.t
+(** The R [aggregate] operator: group rows by the evaluated key
+    expressions, apply [aggr] to the bag of measures.  Rows are sorted
+    first so first/last agree with the reference interpreter; rows with
+    a [Null] key or measure are skipped; empty output keeps the key
+    columns plus ["value"]. *)
+
+val apply_blackbox :
+  schema:Schema.t ->
+  fn:string ->
+  params:float list ->
+  Frame.t ->
+  (Frame.t, string) result
+(** Series-level operator via the shared {!Ops.Blackbox} catalogue
+    (frame → cube → operator → frame). *)

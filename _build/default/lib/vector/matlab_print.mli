@@ -1,0 +1,17 @@
+open Matrix
+
+(** Matlab surface syntax for script IR (paper, Section 5.2):
+    position-oriented matrix code with [join] and element-wise
+    operators, like the paper's fragment
+
+    {v
+    tmp=join(PQR, 1:2, RGDPPC, 1:2)
+    tmp(:,5)=tmp(:,3) .* tmp(:,4)
+    TGDP=[tmp(:,1) tmp(:,2) tmp(:,5)]
+    v}
+
+    Column positions are recovered by simulating the frame layouts,
+    which needs the source cube schemas. *)
+
+val script_to_string :
+  schemas:(string -> Schema.t option) -> Script.t -> (string, string) result

@@ -1,0 +1,1 @@
+test/gen.ml: Calendar Cube Domain List Matrix Printf QCheck Random Registry Schema String Tuple Value

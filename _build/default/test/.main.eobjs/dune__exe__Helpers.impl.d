@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Calendar Cube Domain Exl Float Fmt List Matrix Registry Schema Tuple Value

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_delta Test_edges Test_engine Test_etl Test_exchange Test_exl Test_filter Test_mappings Test_matrix Test_ops Test_outer Test_relational Test_stats Test_vector

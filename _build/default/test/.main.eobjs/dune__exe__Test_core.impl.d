@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Core Cube Helpers List Matrix Registry String Vector

@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Calendar Cube Domain Exchange Exl Gen Helpers List Mappings Matrix Option Printf QCheck QCheck_alcotest Random Registry Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Astring_contains Calendar Core Cube Domain Engine Exchange Helpers List Mappings Matrix Ops Option Registry Relational Schema Value Vector

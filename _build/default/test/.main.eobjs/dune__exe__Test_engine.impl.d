@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Astring_contains Calendar Cube Domain Engine Exl Filename Gen Helpers List Matrix Option QCheck QCheck_alcotest Registry String Sys

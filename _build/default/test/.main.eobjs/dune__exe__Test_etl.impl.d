@@ -1,0 +1,1 @@
+test/test_etl.ml: Alcotest Astring_contains Cube Etl Exl Gen Helpers List Mappings Matrix QCheck QCheck_alcotest Registry

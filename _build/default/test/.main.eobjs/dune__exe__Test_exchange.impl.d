@@ -1,0 +1,1 @@
+test/test_exchange.ml: Alcotest Calendar Cube Domain Exchange Exl Gen Helpers List Mappings Matrix Option QCheck QCheck_alcotest Registry Schema String Value

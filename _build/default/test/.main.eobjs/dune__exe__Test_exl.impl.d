@@ -1,0 +1,1 @@
+test/test_exl.ml: Alcotest Astring_contains Calendar Core Cube Domain Exl Float Gen Helpers List Matrix Ops Option QCheck QCheck_alcotest Registry Schema String Tuple Value

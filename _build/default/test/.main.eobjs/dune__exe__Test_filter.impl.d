@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Astring_contains Calendar Core Cube Domain Etl Exl Helpers List Mappings Matrix Option Registry Relational Schema Vector

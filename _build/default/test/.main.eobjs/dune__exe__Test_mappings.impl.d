@@ -1,0 +1,1 @@
+test/test_mappings.ml: Alcotest Exchange Exl Gen Helpers List Mappings Matrix Ops Option QCheck QCheck_alcotest Result Stats

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array Astring_contains Calendar Cube Domain Exl Helpers List Matrix Ops Option Registry Value

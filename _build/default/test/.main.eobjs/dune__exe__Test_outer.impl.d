@@ -1,0 +1,1 @@
+test/test_outer.ml: Alcotest Astring_contains Calendar Core Cube Domain Exl Helpers Mappings Matrix Ops Option Registry

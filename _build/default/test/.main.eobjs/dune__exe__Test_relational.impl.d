@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Astring_contains Cube Exl Gen Helpers List Mappings Matrix QCheck QCheck_alcotest Registry Relational Result Schema String

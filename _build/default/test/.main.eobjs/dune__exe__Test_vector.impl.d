@@ -1,0 +1,1 @@
+test/test_vector.ml: Alcotest Array Astring_contains Cube Domain Exl Gen Helpers List Mappings Matrix Ops Option QCheck QCheck_alcotest Registry Schema Stats Value Vector

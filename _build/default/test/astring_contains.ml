@@ -1,0 +1,11 @@
+(* Substring check (no external string library in the test deps). *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec loop i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else loop (i + 1)
+    in
+    loop 0

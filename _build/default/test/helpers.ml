@@ -1,0 +1,105 @@
+(* Shared helpers for the test suites. *)
+open Matrix
+
+let value = Alcotest.testable Value.pp Value.equal
+let date = Alcotest.testable Calendar.Date.pp Calendar.Date.equal
+let period = Alcotest.testable Calendar.Period.pp Calendar.Period.equal
+
+let cube_eq =
+  Alcotest.testable Cube.pp (fun a b -> Cube.equal_data ~eps:1e-7 a b)
+
+let floats = Alcotest.float 1e-7
+
+let float_array =
+  Alcotest.testable
+    (Fmt.Dump.array Fmt.float)
+    (fun a b ->
+      Array.length a = Array.length b
+      && Array.for_all2
+           (fun x y ->
+             (Float.is_nan x && Float.is_nan y) || Float.abs (x -. y) < 1e-7)
+           a b)
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.String s
+let vq y q = Value.Period (Calendar.Period.quarter y q)
+let vm y m = Value.Period (Calendar.Period.month y m)
+let vd y m d = Value.Date (Calendar.Date.make ~year:y ~month:m ~day:d)
+let key vs = Tuple.of_list vs
+
+let cube_of name dims rows =
+  let schema = Schema.make ~name ~dims () in
+  Cube.of_rows schema rows
+
+(* A registry with the paper's overview cubes: PDR (population by day and
+   region) and RGDPPC (regional GDP per capita by quarter and region). *)
+let overview_registry ?(years = 2) ?(regions = [ "north"; "south" ]) () =
+  let reg = Registry.create () in
+  let pdr_schema =
+    Schema.make ~name:"PDR"
+      ~dims:[ ("d", Domain.Date); ("r", Domain.String) ]
+      ()
+  in
+  let pdr = Cube.create pdr_schema in
+  let rgdppc_schema =
+    Schema.make ~name:"RGDPPC"
+      ~dims:[ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+      ()
+  in
+  let rgdppc = Cube.create rgdppc_schema in
+  List.iteri
+    (fun ri region ->
+      (* Daily population: slow linear growth, different base per region. *)
+      let base = 1000. +. (float_of_int ri *. 500.) in
+      for year = 2020 to 2020 + years - 1 do
+        for doy = 0 to 364 do
+          let d =
+            Calendar.Date.add_days
+              (Calendar.Date.make ~year ~month:1 ~day:1)
+              doy
+          in
+          let day_index =
+            float_of_int (((year - 2020) * 365) + doy)
+          in
+          Cube.set pdr
+            (key [ Value.Date d; vs region ])
+            (vf (base +. (0.1 *. day_index)))
+        done;
+        (* Quarterly GDP per capita with seasonality. *)
+        for q = 1 to 4 do
+          let t = float_of_int (((year - 2020) * 4) + q - 1) in
+          let seasonal = 5. *. sin (Float.pi /. 2. *. float_of_int (q - 1)) in
+          Cube.set rgdppc
+            (key [ vq year q; vs region ])
+            (vf (30. +. (0.5 *. t) +. seasonal +. (2. *. float_of_int ri)))
+        done
+      done)
+    regions;
+  Registry.add reg Registry.Elementary pdr;
+  Registry.add reg Registry.Elementary rgdppc;
+  reg
+
+(* The paper's Section 2 worked example, in concrete EXL syntax.
+   Statement (5) is the fused form with four operators. *)
+let overview_program =
+  {|
+cube PDR(d: date, r: string);
+cube RGDPPC(q: quarter, r: string);
+
+PQR   := avg(PDR, group by quarter(d) as q, r);
+RGDP  := RGDPPC * PQR;
+GDP   := sum(RGDP, group by q);
+GDPT  := stl_t(GDP);
+PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+|}
+
+let load_overview () = Exl.Program.load_exn overview_program
+
+let check_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Exl.Errors.to_string e)
+
+let check_err what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error (e : Exl.Errors.t) -> e.Exl.Errors.msg

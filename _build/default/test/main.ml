@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "exlengine"
+    [
+      ("matrix", Test_matrix.suite);
+      ("stats", Test_stats.suite);
+      ("ops", Test_ops.suite);
+      ("exl", Test_exl.suite);
+      ("mappings", Test_mappings.suite);
+      ("filter", Test_filter.suite);
+      ("outer", Test_outer.suite);
+      ("exchange", Test_exchange.suite);
+      ("delta", Test_delta.suite);
+      ("relational", Test_relational.suite);
+      ("vector", Test_vector.suite);
+      ("etl", Test_etl.suite);
+      ("engine", Test_engine.suite);
+      ("core", Test_core.suite);
+      ("edges", Test_edges.suite);
+    ]

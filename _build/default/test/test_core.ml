@@ -1,0 +1,77 @@
+(* The public Core facade. *)
+open Matrix
+open Helpers
+
+let core_ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let test_backend_names () =
+  Alcotest.(check (list string)) "names"
+    [ "reference"; "chase"; "sql"; "vector"; "etl" ]
+    (List.map Core.backend_name Core.all_backends)
+
+let test_compile_reports_errors () =
+  match Core.compile "B := MISSING + 1;\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions cube" true
+        (Astring_contains.contains msg "MISSING")
+  | Ok _ -> Alcotest.fail "expected a compile error"
+
+let test_artifacts_all_produced () =
+  let program = Core.compile_exn Helpers.overview_program in
+  List.iter
+    (fun (label, produce) ->
+      let text = core_ok (produce program) in
+      Alcotest.(check bool) (label ^ " non-empty") true (String.length text > 0))
+    [
+      ("tgds", Core.tgds_of);
+      ("sql", Core.sql_of ?fused:None);
+      ("ddl", Core.ddl_of);
+      ("r", Core.r_of);
+      ("matlab", Core.matlab_of);
+      ("kettle", Core.kettle_of);
+    ]
+
+let test_verify_reports_differences () =
+  (* A deliberately broken back end comparison: feed verify a program
+     whose reference run fails (log of a negative constant). *)
+  match Core.compile "K := ln(0 - 1);\n" with
+  | Error _ -> () (* rejected at compile time is fine too *)
+  | Ok program -> (
+      match Core.verify_all_backends program (Registry.create ()) with
+      | Error msg ->
+          Alcotest.(check bool) "explains failure" true (String.length msg > 0)
+      | Ok () -> Alcotest.fail "expected a failure report")
+
+let test_r_io_primitives () =
+  let program = Core.compile_exn Helpers.overview_program in
+  let r = check_ok (Vector.Vector_target.r_script_of_program ~io:true program) in
+  Alcotest.(check bool) "reads sources" true
+    (Astring_contains.contains r "PDR <- read.csv(\"PDR.csv\")");
+  Alcotest.(check bool) "writes finals" true
+    (Astring_contains.contains r "write.csv(PCHNG, \"PCHNG.csv\"");
+  Alcotest.(check bool) "temps not written" false
+    (Astring_contains.contains r "write.csv(PCHNG__1")
+
+let test_run_on_every_backend () =
+  let program = Core.compile_exn Helpers.overview_program in
+  let data = overview_registry () in
+  List.iter
+    (fun backend ->
+      let result = core_ok (Core.run ~backend program data) in
+      Alcotest.(check bool)
+        (Core.backend_name backend ^ " produced PCHNG")
+        true
+        (Cube.cardinality (Registry.find_exn result "PCHNG") > 0))
+    Core.all_backends
+
+let suite =
+  [
+    ("backend names", `Quick, test_backend_names);
+    ("compile reports errors", `Quick, test_compile_reports_errors);
+    ("all artifacts produced", `Quick, test_artifacts_all_produced);
+    ("verify reports differences", `Quick, test_verify_reports_differences);
+    ("r io primitives", `Quick, test_r_io_primitives);
+    ("run on every backend", `Quick, test_run_on_every_backend);
+  ]

@@ -1,0 +1,238 @@
+(* The incremental (delta) chase: tuple-level change propagation must
+   agree exactly with a full re-chase. *)
+open Matrix
+open Helpers
+module M = Mappings
+module X = Exchange
+
+let mapping_of src =
+  (check_ok (M.Generate.of_source src)).M.Generate.mapping
+
+let chase_ok mapping source =
+  match X.Chase.run mapping source with
+  | Ok (j, _) -> j
+  | Error msg -> Alcotest.failf "chase: %s" msg
+
+let incr_ok mapping ~base ~source =
+  match X.Delta.run_incremental mapping ~base ~source with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "incremental: %s" msg
+
+let instances_agree mapping a b =
+  List.iter
+    (fun schema ->
+      let name = schema.Schema.name in
+      Alcotest.check cube_eq ("relation " ^ name)
+        (X.Instance.cube_of_relation a name)
+        (X.Instance.cube_of_relation b name))
+    mapping.M.Mapping.target
+
+(* revise one measure of a cube in a registry copy *)
+let revise_measure reg name key factor =
+  let out = Registry.copy reg in
+  let cube = Registry.find_exn out name in
+  (match Cube.find cube key with
+  | Some v -> Cube.set cube key (Value.Float (Value.to_float_exn v *. factor))
+  | None -> Alcotest.failf "no tuple %s in %s" (Tuple.to_string key) name);
+  out
+
+let test_diff () =
+  let d =
+    X.Delta.diff
+      ~old_facts:[ [| vi 1; vf 1. |]; [| vi 2; vf 2. |] ]
+      ~new_facts:[ [| vi 2; vf 2. |]; [| vi 3; vf 3. |] ]
+  in
+  Alcotest.(check int) "one added" 1 (List.length d.X.Delta.added);
+  Alcotest.(check int) "one removed" 1 (List.length d.X.Delta.removed)
+
+let test_no_change_is_noop () =
+  let reg = overview_registry () in
+  let mapping = mapping_of Helpers.overview_program in
+  let base = chase_ok mapping (X.Instance.of_registry reg) in
+  let j, stats = incr_ok mapping ~base ~source:(X.Instance.of_registry reg) in
+  instances_agree mapping base j;
+  Alcotest.(check int) "no work" 0 stats.X.Chase.tuples_generated
+
+let test_single_revision_overview () =
+  let reg = overview_registry () in
+  let mapping = mapping_of Helpers.overview_program in
+  let base = chase_ok mapping (X.Instance.of_registry reg) in
+  (* revise one quarterly per-capita figure *)
+  let revised =
+    revise_measure reg "RGDPPC" (key [ vq 2021 2; vs "north" ]) 1.05
+  in
+  let source = X.Instance.of_registry revised in
+  let full = chase_ok mapping source in
+  let incremental, stats = incr_ok mapping ~base ~source in
+  instances_agree mapping full incremental;
+  (* far less work than the full chase: the full solution has thousands
+     of facts, the revision touches a handful per relation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "little work (%d)" stats.X.Chase.tuples_generated)
+    true
+    (stats.X.Chase.tuples_generated < 60)
+
+let test_revision_skips_unaffected_branch () =
+  let reg = overview_registry () in
+  let mapping = mapping_of Helpers.overview_program in
+  let base = chase_ok mapping (X.Instance.of_registry reg) in
+  let revised =
+    revise_measure reg "RGDPPC" (key [ vq 2021 2; vs "north" ]) 1.05
+  in
+  let incremental, _ =
+    incr_ok mapping ~base ~source:(X.Instance.of_registry revised)
+  in
+  (* PQR depends only on PDR: identical facts, untouched *)
+  Alcotest.check cube_eq "PQR untouched"
+    (X.Instance.cube_of_relation base "PQR")
+    (X.Instance.cube_of_relation incremental "PQR")
+
+let test_insertion_and_deletion () =
+  let dims = [ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ] in
+  let src =
+    "cube A(q: quarter, r: string);\n\
+     cube B(q: quarter, r: string);\n\
+     C := A * B;\n\
+     S := sum(C, group by q);\n"
+  in
+  let mapping = mapping_of src in
+  let reg = Registry.create () in
+  Registry.add reg Registry.Elementary
+    (cube_of "A" dims
+       [ [ vq 2024 1; vs "x"; vf 2. ]; [ vq 2024 2; vs "x"; vf 3. ] ]);
+  Registry.add reg Registry.Elementary
+    (cube_of "B" dims
+       [ [ vq 2024 1; vs "x"; vf 10. ]; [ vq 2024 2; vs "x"; vf 10. ] ]);
+  let base = chase_ok mapping (X.Instance.of_registry reg) in
+  (* delete one A tuple, insert another *)
+  let revised = Registry.copy reg in
+  let a = Registry.find_exn revised "A" in
+  Cube.remove a (key [ vq 2024 1; vs "x" ]);
+  Cube.set a (key [ vq 2024 3; vs "x" ]) (vf 7.);
+  Cube.set (Registry.find_exn revised "B") (key [ vq 2024 3; vs "x" ]) (vf 10.);
+  let source = X.Instance.of_registry revised in
+  let full = chase_ok mapping source in
+  let incremental, _ = incr_ok mapping ~base ~source in
+  instances_agree mapping full incremental;
+  (* sanity: the deleted join result is gone, the new one present *)
+  let c = X.Instance.cube_of_relation incremental "C" in
+  Alcotest.(check bool) "old gone" false (Cube.mem c (key [ vq 2024 1; vs "x" ]));
+  Alcotest.check value "new there" (vf 70.)
+    (Option.get (Cube.find c (key [ vq 2024 3; vs "x" ])))
+
+let test_blackbox_slice_recompute () =
+  (* changing one slice of a two-slice cube only re-derives that slice *)
+  let src = "cube A(q: quarter, r: string);\nT := cumsum(A);\n" in
+  let mapping = mapping_of src in
+  let rows r0 =
+    List.concat_map
+      (fun (r, offset) ->
+        List.init 8 (fun i ->
+            [ vq (2020 + (i / 4)) ((i mod 4) + 1); vs r; vf (offset +. float_of_int i) ]))
+      [ ("a", r0); ("b", 100.) ]
+  in
+  let make r0 =
+    let reg = Registry.create () in
+    Registry.add reg Registry.Elementary
+      (cube_of "A"
+         [ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+         (rows r0));
+    reg
+  in
+  let base_reg = make 0. and revised_reg = make 1. in
+  let base = chase_ok mapping (X.Instance.of_registry base_reg) in
+  let source = X.Instance.of_registry revised_reg in
+  let full = chase_ok mapping source in
+  let incremental, stats = incr_ok mapping ~base ~source in
+  instances_agree mapping full incremental;
+  (* only slice "a" (8 points) re-derived, not the 16 total *)
+  Alcotest.(check int) "slice-local work" 8 stats.X.Chase.tuples_generated
+
+let test_in_place_both_sides_changed () =
+  (* both join sides revised at the same key: the removal derivation
+     must see the OLD other side (the overlay), even in_place *)
+  let dims = [ ("q", Domain.Period (Some Calendar.Quarter)) ] in
+  let src = "cube A(q: quarter);\ncube B(q: quarter);\nC := A * B;\n" in
+  let mapping = mapping_of src in
+  let make av bv =
+    let reg = Registry.create () in
+    Registry.add reg Registry.Elementary (cube_of "A" dims [ [ vq 2024 1; vf av ] ]);
+    Registry.add reg Registry.Elementary (cube_of "B" dims [ [ vq 2024 1; vf bv ] ]);
+    reg
+  in
+  let base = chase_ok mapping (X.Instance.of_registry (make 2. 10.)) in
+  let source = X.Instance.of_registry (make 3. 20.) in
+  let updated, _ =
+    match X.Delta.run_incremental ~in_place:true mapping ~base ~source with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "in place: %s" msg
+  in
+  let c = X.Instance.cube_of_relation updated "C" in
+  Alcotest.(check int) "one fact" 1 (Cube.cardinality c);
+  Alcotest.check value "3*20" (vf 60.) (Option.get (Cube.find c (key [ vq 2024 1 ])))
+
+let prop_incremental_equals_full =
+  QCheck.Test.make ~count:40
+    ~name:"incremental chase == full chase under random revisions"
+    (QCheck.pair Gen.arb_seed (QCheck.int_range 0 1_000_000))
+    (fun (seed, rev_seed) ->
+      let src, reg = Gen.program_of_seed seed in
+      let mapping =
+        match M.Generate.of_source src with
+        | Ok g -> g.M.Generate.mapping
+        | Error e -> QCheck.Test.fail_reportf "gen: %s" (Exl.Errors.to_string e)
+      in
+      let base_source = X.Instance.of_registry reg in
+      let base =
+        match X.Chase.run mapping base_source with
+        | Ok (j, _) -> j
+        | Error msg -> QCheck.Test.fail_reportf "base chase: %s" msg
+      in
+      (* random revision: scale some measures, drop a few tuples *)
+      let st = Random.State.make [| rev_seed; 77 |] in
+      let revised = Registry.copy reg in
+      List.iter
+        (fun name ->
+          let cube = Registry.find_exn revised name in
+          let keys = Cube.keys cube in
+          List.iter
+            (fun k ->
+              let roll = Random.State.float st 1.0 in
+              if roll < 0.05 then Cube.remove cube k
+              else if roll < 0.15 then
+                match Cube.find cube k with
+                | Some v ->
+                    Cube.set cube k
+                      (Value.Float (Value.to_float_exn v +. 1.25))
+                | None -> ())
+            keys)
+        (Registry.elementary_names revised);
+      let source = X.Instance.of_registry revised in
+      let full =
+        match X.Chase.run mapping source with
+        | Ok (j, _) -> j
+        | Error msg -> QCheck.Test.fail_reportf "full chase: %s" msg
+      in
+      match X.Delta.run_incremental mapping ~base ~source with
+      | Error msg -> QCheck.Test.fail_reportf "incremental: %s\n%s" msg src
+      | Ok (incremental, _) ->
+          List.for_all
+            (fun schema ->
+              let name = schema.Schema.name in
+              Cube.equal_data ~eps:1e-7
+                (X.Instance.cube_of_relation full name)
+                (X.Instance.cube_of_relation incremental name)
+              || QCheck.Test.fail_reportf "relation %s differs on\n%s" name src)
+            mapping.M.Mapping.target)
+
+let suite =
+  [
+    ("diff", `Quick, test_diff);
+    ("no change is a no-op", `Quick, test_no_change_is_noop);
+    ("single revision on the overview", `Quick, test_single_revision_overview);
+    ("unaffected branch untouched", `Quick, test_revision_skips_unaffected_branch);
+    ("insertion and deletion", `Quick, test_insertion_and_deletion);
+    ("blackbox slice recompute", `Quick, test_blackbox_slice_recompute);
+    ("in place, both join sides changed", `Quick, test_in_place_both_sides_changed);
+    QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+  ]

@@ -1,0 +1,148 @@
+(* ETL target: flow generation (paper Figure 1), the streaming engine,
+   Kettle catalog serialization, end-to-end equivalence. *)
+open Matrix
+open Helpers
+module M = Mappings
+
+let overview_job () =
+  let checked = load_overview () in
+  check_ok (Etl.Etl_target.job_of_program checked)
+
+(* --- flow structure --- *)
+
+let test_figure1_flow_shape () =
+  (* Figure 1: the flow for tgd (2) is two data sources -> merge ->
+     calculation -> output. *)
+  let job, _ = overview_job () in
+  let flow =
+    List.find (fun f -> f.Etl.Flow.name = "compute_RGDP") job.Etl.Job.flows
+  in
+  let kinds = List.map Etl.Step.kind flow.Etl.Flow.steps in
+  Alcotest.(check (list string)) "figure 1 step sequence"
+    [ "TableInput"; "TableInput"; "MergeJoin"; "Calculator"; "SelectValues"; "TableOutput" ]
+    kinds;
+  Alcotest.(check (list string)) "reads both cubes"
+    [ "RGDPPC"; "PQR" ]
+    (Etl.Flow.input_cubes flow);
+  Alcotest.(check string) "writes RGDP" "RGDP" (Etl.Flow.output_cube flow)
+
+let test_aggregation_flow_has_sort_and_group () =
+  let job, _ = overview_job () in
+  let flow =
+    List.find (fun f -> f.Etl.Flow.name = "compute_GDP") job.Etl.Job.flows
+  in
+  let kinds = List.map Etl.Step.kind flow.Etl.Flow.steps in
+  Alcotest.(check bool) "has sort" true (List.mem "SortRows" kinds);
+  Alcotest.(check bool) "has group" true (List.mem "GroupBy" kinds)
+
+let test_blackbox_flow_user_defined () =
+  let job, _ = overview_job () in
+  let flow =
+    List.find (fun f -> f.Etl.Flow.name = "compute_GDPT") job.Etl.Job.flows
+  in
+  Alcotest.(check bool) "user-defined step" true
+    (List.mem "UserDefined" (List.map Etl.Step.kind flow.Etl.Flow.steps))
+
+let test_flow_validation_rejects_cycles () =
+  let bad =
+    [
+      Etl.Step.Sort { step = "a"; input = "b" };
+      Etl.Step.Sort { step = "b"; input = "a" };
+    ]
+  in
+  match Etl.Flow.make ~name:"bad" bad with
+  | Error msg ->
+      Alcotest.(check bool) "mentions undefined" true
+        (Astring_contains.contains msg "undefined")
+  | Ok _ -> Alcotest.fail "expected validation error"
+
+let test_flow_validation_requires_one_output () =
+  let steps = [ Etl.Step.Table_input { step = "in"; cube = "A" } ] in
+  match Etl.Flow.make ~name:"no_out" steps with
+  | Error msg ->
+      Alcotest.(check bool) "mentions output" true
+        (Astring_contains.contains msg "output")
+  | Ok _ -> Alcotest.fail "expected validation error"
+
+(* --- kettle serialization --- *)
+
+let test_kettle_xml () =
+  let checked = load_overview () in
+  let xml = check_ok (Etl.Etl_target.kettle_catalog_of_program checked) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true
+        (Astring_contains.contains xml fragment))
+    [
+      "<job>";
+      "<transformation>";
+      "<type>MergeJoin</type>";
+      "<type>TableOutput</type>";
+      "<hop><from>in_left</from><to>merge</to></hop>";
+      "<formula>";
+    ]
+
+let test_kettle_escaping () =
+  Alcotest.(check string) "escape" "a &lt;b&gt; &amp; &quot;c&quot;"
+    (Etl.Kettle.escape "a <b> & \"c\"")
+
+(* --- engine --- *)
+
+let overview_names = [ "PQR"; "RGDP"; "GDP"; "GDPT"; "PCHNG" ]
+
+let test_etl_target_overview () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  let via_etl = check_ok (Etl.Etl_target.run_program checked reg) in
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq ("cube " ^ name)
+        (Registry.find_exn reference name)
+        (Registry.find_exn via_etl name))
+    overview_names
+
+let test_batch_size_is_semantics_neutral () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let a = check_ok (Etl.Etl_target.run_program ~batch_size:7 checked reg) in
+  let b = check_ok (Etl.Etl_target.run_program ~batch_size:100000 checked reg) in
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq ("cube " ^ name) (Registry.find_exn a name)
+        (Registry.find_exn b name))
+    overview_names
+
+let prop_etl_matches_interp =
+  QCheck.Test.make ~count:40
+    ~name:"ETL target == interpreter on random programs" Gen.arb_seed
+    (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      let reference = check_ok (Exl.Interp.run checked reg) in
+      match Etl.Etl_target.run_program checked reg with
+      | Error e ->
+          QCheck.Test.fail_reportf "etl: %s\n%s" (Exl.Errors.to_string e) src
+      | Ok via_etl ->
+          List.for_all
+            (fun name ->
+              match Registry.find via_etl name with
+              | Some got ->
+                  Cube.equal_data ~eps:1e-7 (Registry.find_exn reference name) got
+                  || QCheck.Test.fail_reportf "cube %s differs on\n%s" name src
+              | None -> QCheck.Test.fail_reportf "missing %s on\n%s" name src)
+            (Registry.names reference))
+
+let suite =
+  [
+    ("flow: figure 1 shape", `Quick, test_figure1_flow_shape);
+    ("flow: aggregation sort+group", `Quick, test_aggregation_flow_has_sort_and_group);
+    ("flow: blackbox user-defined", `Quick, test_blackbox_flow_user_defined);
+    ("flow: validation rejects undefined inputs", `Quick, test_flow_validation_rejects_cycles);
+    ("flow: validation requires one output", `Quick, test_flow_validation_requires_one_output);
+    ("kettle: xml catalog", `Quick, test_kettle_xml);
+    ("kettle: escaping", `Quick, test_kettle_escaping);
+    ("end-to-end: overview", `Quick, test_etl_target_overview);
+    ("end-to-end: batch size neutral", `Quick, test_batch_size_is_semantics_neutral);
+    QCheck_alcotest.to_alcotest prop_etl_matches_interp;
+  ]

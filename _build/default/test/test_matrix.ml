@@ -1,0 +1,491 @@
+(* The Matrix data model substrate: calendar, values, domains, tuples,
+   cubes, series, registries, CSV. *)
+open Matrix
+open Helpers
+
+(* --- calendar: dates --- *)
+
+let date_testable = Helpers.date
+
+let test_date_rata_die_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let date = Calendar.Date.make ~year:y ~month:m ~day:d in
+      Alcotest.check date_testable "roundtrip" date
+        (Calendar.Date.of_rata_die (Calendar.Date.to_rata_die date)))
+    [
+      (2000, 3, 1); (1999, 12, 31); (2024, 2, 29); (1582, 10, 15);
+      (1, 1, 1); (2100, 2, 28); (2400, 2, 29);
+    ]
+
+let test_date_known_epoch () =
+  (* Hinnant's algorithm: 1970-01-01 is 719468 days after 0000-03-01. *)
+  Alcotest.(check int) "epoch" 719468
+    (Calendar.Date.to_rata_die (Calendar.Date.make ~year:1970 ~month:1 ~day:1))
+
+let test_date_day_of_week () =
+  (* 2026-07-05 is a Sunday (ISO: 6 with Monday = 0). *)
+  Alcotest.(check int) "sunday" 6
+    (Calendar.Date.day_of_week (Calendar.Date.make ~year:2026 ~month:7 ~day:5));
+  Alcotest.(check int) "thursday" 3
+    (Calendar.Date.day_of_week (Calendar.Date.make ~year:1970 ~month:1 ~day:1))
+
+let test_date_leap_years () =
+  Alcotest.(check bool) "2024" true (Calendar.Date.is_leap_year 2024);
+  Alcotest.(check bool) "1900" false (Calendar.Date.is_leap_year 1900);
+  Alcotest.(check bool) "2000" true (Calendar.Date.is_leap_year 2000);
+  Alcotest.(check int) "feb 2024" 29 (Calendar.Date.days_in_month ~year:2024 ~month:2);
+  Alcotest.(check (option date_testable)) "invalid date" None
+    (Calendar.Date.make_opt ~year:2023 ~month:2 ~day:29)
+
+let test_date_add_days () =
+  let d = Calendar.Date.make ~year:2023 ~month:12 ~day:31 in
+  Alcotest.check date_testable "new year"
+    (Calendar.Date.make ~year:2024 ~month:1 ~day:1)
+    (Calendar.Date.add_days d 1);
+  Alcotest.check date_testable "leap straddle"
+    (Calendar.Date.make ~year:2024 ~month:3 ~day:1)
+    (Calendar.Date.add_days (Calendar.Date.make ~year:2024 ~month:2 ~day:28) 2)
+
+let test_date_string_roundtrip () =
+  let d = Calendar.Date.make ~year:2023 ~month:7 ~day:5 in
+  Alcotest.(check string) "iso" "2023-07-05" (Calendar.Date.to_string d);
+  Alcotest.(check (option date_testable)) "parse" (Some d)
+    (Calendar.Date.of_string "2023-07-05");
+  Alcotest.(check (option date_testable)) "reject" None
+    (Calendar.Date.of_string "2023-13-05")
+
+(* --- calendar: periods --- *)
+
+let test_period_of_date () =
+  let d = Calendar.Date.make ~year:2023 ~month:8 ~day:17 in
+  let check_conv freq expected =
+    Alcotest.(check string) expected expected
+      (Calendar.Period.to_string (Calendar.Period.of_date freq d))
+  in
+  check_conv Calendar.Year "2023";
+  check_conv Calendar.Semester "2023S2";
+  check_conv Calendar.Quarter "2023Q3";
+  check_conv Calendar.Month "2023M08";
+  check_conv Calendar.Day "2023-08-17"
+
+let test_period_shift_across_years () =
+  let q4 = Calendar.Period.quarter 2023 4 in
+  Alcotest.check period "wraps" (Calendar.Period.quarter 2024 1)
+    (Calendar.Period.shift q4 1);
+  Alcotest.check period "back two years" (Calendar.Period.quarter 2021 4)
+    (Calendar.Period.shift q4 (-8));
+  let m1 = Calendar.Period.month 2020 1 in
+  Alcotest.check period "months" (Calendar.Period.month 2019 12)
+    (Calendar.Period.shift m1 (-1))
+
+let test_period_start_end () =
+  let q2 = Calendar.Period.quarter 2023 2 in
+  Alcotest.check date_testable "start"
+    (Calendar.Date.make ~year:2023 ~month:4 ~day:1)
+    (Calendar.Period.start_date q2);
+  Alcotest.check date_testable "end"
+    (Calendar.Date.make ~year:2023 ~month:6 ~day:30)
+    (Calendar.Period.end_date q2)
+
+let test_period_iso_weeks () =
+  (* ISO: week 1 of 2021 starts on Monday 2021-01-04. *)
+  let w1 = Calendar.Period.week 2021 1 in
+  Alcotest.check date_testable "start of 2021W01"
+    (Calendar.Date.make ~year:2021 ~month:1 ~day:4)
+    (Calendar.Period.start_date w1);
+  Alcotest.(check string) "prints" "2021W01" (Calendar.Period.to_string w1);
+  (* 2021-01-01 belongs to ISO week 2020W53. *)
+  let containing =
+    Calendar.Period.of_date Calendar.Week
+      (Calendar.Date.make ~year:2021 ~month:1 ~day:1)
+  in
+  Alcotest.(check string) "iso year boundary" "2020W53"
+    (Calendar.Period.to_string containing)
+
+let test_period_string_roundtrip () =
+  List.iter
+    (fun s ->
+      match Calendar.Period.of_string s with
+      | Some p -> Alcotest.(check string) s s (Calendar.Period.to_string p)
+      | None -> Alcotest.failf "failed to parse %s" s)
+    [ "2023"; "2023S1"; "2023Q4"; "2023M11"; "2021W01"; "2023-02-28" ]
+
+let test_period_convert () =
+  let m = Calendar.Period.month 2023 8 in
+  Alcotest.check period "month to quarter" (Calendar.Period.quarter 2023 3)
+    (Calendar.Period.convert Calendar.Quarter m);
+  Alcotest.check_raises "finer rejected"
+    (Invalid_argument "Calendar.Period.convert: cannot convert to finer frequency")
+    (fun () -> ignore (Calendar.Period.convert Calendar.Month (Calendar.Period.year 2023)))
+
+let test_period_range () =
+  let a = Calendar.Period.quarter 2023 3 in
+  let b = Calendar.Period.quarter 2024 2 in
+  Alcotest.(check (list string)) "range"
+    [ "2023Q3"; "2023Q4"; "2024Q1"; "2024Q2" ]
+    (List.map Calendar.Period.to_string (Calendar.Period.range a b))
+
+let prop_period_shift_inverse =
+  QCheck.Test.make ~count:200 ~name:"period shift is invertible"
+    QCheck.(pair (int_range (-5000) 5000) (int_range (-500) 500))
+    (fun (index, s) ->
+      let p = Calendar.Period.make Calendar.Month index in
+      Calendar.Period.equal p
+        (Calendar.Period.shift (Calendar.Period.shift p s) (-s)))
+
+let prop_date_rata_die_bijective =
+  QCheck.Test.make ~count:200 ~name:"rata die is bijective"
+    QCheck.(int_range (-100_000) 1_000_000)
+    (fun rd -> Calendar.Date.to_rata_die (Calendar.Date.of_rata_die rd) = rd)
+
+let prop_period_of_date_contains =
+  QCheck.Test.make ~count:200 ~name:"of_date period contains the date"
+    QCheck.(pair (int_range 0 800_000) (int_range 0 4))
+    (fun (rd, fi) ->
+      let freq =
+        List.nth Calendar.[ Year; Semester; Quarter; Month; Week ] fi
+      in
+      let d = Calendar.Date.of_rata_die rd in
+      let p = Calendar.Period.of_date freq d in
+      Calendar.Date.compare (Calendar.Period.start_date p) d <= 0
+      && Calendar.Date.compare d (Calendar.Period.end_date p) <= 0)
+
+(* --- values --- *)
+
+let test_value_numeric_cross_type () =
+  Alcotest.(check int) "int = float" 0 (Value.compare (vi 2) (vf 2.));
+  Alcotest.(check bool) "equal" true (Value.equal (vi 2) (vf 2.));
+  Alcotest.(check bool) "hash agrees" true
+    (Value.hash (vi 2) = Value.hash (vf 2.))
+
+let test_value_guess () =
+  Alcotest.check value "int" (vi 42) (Value.of_string_guess "42");
+  Alcotest.check value "float" (vf 4.5) (Value.of_string_guess "4.5");
+  Alcotest.check value "date" (vd 2023 1 2) (Value.of_string_guess "2023-01-02");
+  Alcotest.check value "period" (vq 2023 1) (Value.of_string_guess "2023Q1");
+  Alcotest.check value "string" (vs "north") (Value.of_string_guess "north");
+  Alcotest.check value "null" Value.Null (Value.of_string_guess "");
+  Alcotest.check value "bool" (Value.Bool true) (Value.of_string_guess "true")
+
+let test_value_nan_becomes_null () =
+  Alcotest.check value "nan" Value.Null (Value.of_float Float.nan)
+
+(* --- domains --- *)
+
+let test_domain_membership () =
+  Alcotest.(check bool) "int in float" true (Domain.member (vi 1) Domain.Float);
+  Alcotest.(check bool) "null anywhere" true (Domain.member Value.Null Domain.String);
+  Alcotest.(check bool) "freq match" true
+    (Domain.member (vq 2023 1) (Domain.Period (Some Calendar.Quarter)));
+  Alcotest.(check bool) "freq mismatch" false
+    (Domain.member (vm 2023 1) (Domain.Period (Some Calendar.Quarter)))
+
+let test_domain_union () =
+  Alcotest.(check (option string)) "int/float" (Some "float")
+    (Option.map Domain.to_string (Domain.union Domain.Int Domain.Float));
+  Alcotest.(check (option string)) "periods" (Some "period")
+    (Option.map Domain.to_string
+       (Domain.union
+          (Domain.Period (Some Calendar.Quarter))
+          (Domain.Period (Some Calendar.Month))));
+  Alcotest.(check bool) "string/int" true
+    (Domain.union Domain.String Domain.Int = None)
+
+(* --- tuples --- *)
+
+let test_tuple_ordering () =
+  let a = key [ vi 1; vs "a" ] and b = key [ vi 1; vs "b" ] in
+  Alcotest.(check bool) "a < b" true (Tuple.compare a b < 0);
+  Alcotest.(check bool) "project" true
+    (Tuple.equal (Tuple.project b [| 1 |]) (key [ vs "b" ]))
+
+let prop_tuple_hash_consistent =
+  QCheck.Test.make ~count:200 ~name:"tuple equal implies equal hash"
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (xs, ys) ->
+      let t1 = key (List.map vi xs) and t2 = key (List.map vi ys) in
+      (not (Tuple.equal t1 t2)) || Tuple.hash t1 = Tuple.hash t2)
+
+(* --- cubes --- *)
+
+let test_cube_functionality () =
+  let c = cube_of "C" [ ("x", Domain.Int) ] [ [ vi 1; vf 2. ] ] in
+  Cube.add_strict c (key [ vi 1 ]) (vf 2.);
+  (* same value: fine *)
+  Alcotest.check_raises "conflict"
+    (Cube.Functionality_violation { cube = "C"; key = key [ vi 1 ] })
+    (fun () -> Cube.add_strict c (key [ vi 1 ]) (vf 3.))
+
+let test_cube_null_measure_dropped () =
+  let c = cube_of "C" [ ("x", Domain.Int) ] [] in
+  Cube.set c (key [ vi 1 ]) Value.Null;
+  Alcotest.(check int) "empty" 0 (Cube.cardinality c)
+
+let test_cube_merge_join_intersection () =
+  let a = cube_of "A" [ ("x", Domain.Int) ] [ [ vi 1; vf 1. ]; [ vi 2; vf 2. ] ] in
+  let b = cube_of "B" [ ("x", Domain.Int) ] [ [ vi 2; vf 5. ]; [ vi 3; vf 9. ] ] in
+  let out =
+    Cube.merge_join
+      (fun x y -> Ops.Binop.eval_value Ops.Binop.Add x y)
+      (Cube.schema a) a b
+  in
+  Alcotest.(check int) "one" 1 (Cube.cardinality out);
+  Alcotest.check value "2+5" (vf 7.) (Option.get (Cube.find out (key [ vi 2 ])))
+
+let test_cube_merge_join_operand_order () =
+  (* merge_join iterates the smaller side but must keep argument order. *)
+  let a = cube_of "A" [ ("x", Domain.Int) ] [ [ vi 1; vf 10. ] ] in
+  let b =
+    cube_of "B" [ ("x", Domain.Int) ]
+      [ [ vi 1; vf 4. ]; [ vi 2; vf 5. ]; [ vi 3; vf 6. ] ]
+  in
+  let sub = Cube.merge_join (Ops.Binop.eval_value Ops.Binop.Sub) (Cube.schema a) in
+  Alcotest.check value "10-4" (vf 6.) (Option.get (Cube.find (sub a b) (key [ vi 1 ])));
+  Alcotest.check value "4-10" (vf (-6.)) (Option.get (Cube.find (sub b a) (key [ vi 1 ])))
+
+let test_cube_diff_data () =
+  let a = cube_of "A" [ ("x", Domain.Int) ] [ [ vi 1; vf 1. ]; [ vi 2; vf 2. ] ] in
+  let b = cube_of "A" [ ("x", Domain.Int) ] [ [ vi 1; vf 1. ]; [ vi 2; vf 3. ] ] in
+  Alcotest.(check int) "one diff" 1 (List.length (Cube.diff_data a b));
+  Alcotest.(check bool) "not equal" false (Cube.equal_data a b);
+  Alcotest.(check bool) "tolerant" true (Cube.equal_data ~eps:2. a b)
+
+let test_cube_of_rows_validates () =
+  let schema = Schema.make ~name:"C" ~dims:[ ("x", Domain.Int) ] () in
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Cube.of_rows: row of width 3 for schema C(x: int): float")
+    (fun () -> ignore (Cube.of_rows schema [ [ vi 1; vi 2; vf 3. ] ]))
+
+(* --- series --- *)
+
+let test_series_sorted_and_contiguous () =
+  let c =
+    cube_of "S"
+      [ ("q", Domain.Period (Some Calendar.Quarter)) ]
+      [ [ vq 2020 3; vf 3. ]; [ vq 2020 1; vf 1. ]; [ vq 2020 2; vf 2. ] ]
+  in
+  let s = Series.of_cube c in
+  Alcotest.(check bool) "sorted" true
+    (Series.values s = [| 1.; 2.; 3. |]);
+  Alcotest.(check bool) "contiguous" true (Series.is_contiguous s);
+  let gap =
+    cube_of "S"
+      [ ("q", Domain.Period (Some Calendar.Quarter)) ]
+      [ [ vq 2020 1; vf 1. ]; [ vq 2020 4; vf 4. ] ]
+  in
+  Alcotest.(check bool) "gap detected" false
+    (Series.is_contiguous (Series.of_cube gap))
+
+let test_series_roundtrip_preserves_date_dims () =
+  let c =
+    cube_of "S" [ ("d", Domain.Date) ]
+      [ [ vd 2020 1 1; vf 1. ]; [ vd 2020 1 2; vf 2. ] ]
+  in
+  let back = Series.to_cube (Series.of_cube c) in
+  Alcotest.check cube_eq "dates preserved" c back
+
+(* --- registry --- *)
+
+let test_registry_kinds_and_copy () =
+  let reg = overview_registry () in
+  Alcotest.(check (list string)) "elementary" [ "PDR"; "RGDPPC" ]
+    (Registry.elementary_names reg);
+  let copy = Registry.copy reg in
+  Cube.set (Registry.find_exn copy "PDR") (key [ vd 1999 1 1; vs "x" ]) (vf 1.);
+  Alcotest.(check bool) "deep copy" false
+    (Cube.cardinality (Registry.find_exn reg "PDR")
+    = Cube.cardinality (Registry.find_exn copy "PDR"))
+
+(* --- csv --- *)
+
+let test_csv_roundtrip () =
+  let c =
+    cube_of "C"
+      [ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+      [
+        [ vq 2020 1; vs "with,comma"; vf 1.5 ];
+        [ vq 2020 2; vs "with \"quote\""; vf 2.5 ];
+        [ vq 2020 3; vs "plain"; vf (-3.) ];
+      ]
+  in
+  let text = Csv.cube_to_string c in
+  match Csv.cube_of_string (Cube.schema c) text with
+  | Ok back -> Alcotest.check cube_eq "roundtrip" c back
+  | Error msg -> Alcotest.fail msg
+
+let test_csv_rejects_bad_header () =
+  let schema = Schema.make ~name:"C" ~dims:[ ("x", Domain.Int) ] () in
+  match Csv.cube_of_string schema "wrong,header\n1,2\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions header" true
+        (Astring_contains.contains msg "header")
+  | Ok _ -> Alcotest.fail "expected header error"
+
+let test_csv_parse_quoted_newline () =
+  let rows = Csv.parse_rows "a,\"b\nc\",d\n" in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  Alcotest.(check (list string)) "cells" [ "a"; "b\nc"; "d" ] (List.hd rows)
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"csv roundtrip on random cubes"
+    QCheck.(list (pair (int_range 0 30) (int_range (-1000) 1000)))
+    (fun rows ->
+      let schema = Schema.make ~name:"T" ~dims:[ ("x", Domain.Int) ] () in
+      let c = Cube.create schema in
+      List.iter
+        (fun (x, v) -> Cube.set c (key [ vi x ]) (vf (float_of_int v /. 8.)))
+        rows;
+      match Csv.cube_of_string schema (Csv.cube_to_string c) with
+      | Ok back -> Cube.equal_data c back
+      | Error _ -> false)
+
+(* --- SDMX export (dissemination) --- *)
+
+let test_sdmx_time_periods () =
+  let check expected p = Alcotest.(check string) expected expected (Sdmx.time_period p) in
+  check "2020" (Calendar.Period.year 2020);
+  check "2020-S2" (Calendar.Period.semester 2020 2);
+  check "2020-Q3" (Calendar.Period.quarter 2020 3);
+  check "2020-07" (Calendar.Period.month 2020 7);
+  check "2021-W01" (Calendar.Period.week 2021 1);
+  check "2020-02-29" (Calendar.Period.day (Calendar.Date.make ~year:2020 ~month:2 ~day:29))
+
+let test_sdmx_dsd () =
+  let schema =
+    Schema.make ~name:"GDP"
+      ~dims:[ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+      ()
+  in
+  let xml = Sdmx.dsd_of_schema schema in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (Astring_contains.contains xml fragment))
+    [
+      "<structure:DataStructure id=\"DSD_GDP\"";
+      "<structure:Dimension id=\"R\" position=\"1\"";
+      "<structure:TimeDimension id=\"Q\" position=\"2\"/>";
+      "<structure:PrimaryMeasure id=\"VALUE\"";
+    ]
+
+let test_sdmx_generic_data () =
+  let cube =
+    cube_of "GDP"
+      [ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+      [
+        [ vq 2020 1; vs "north"; vf 10. ];
+        [ vq 2020 2; vs "north"; vf 11. ];
+        [ vq 2020 1; vs "south"; vf 20. ];
+      ]
+  in
+  let xml = Sdmx.generic_data_of_cube cube in
+  (* two series (north, south), observations keyed by SDMX periods *)
+  let count needle =
+    let rec loop i acc =
+      if i + String.length needle > String.length xml then acc
+      else if String.sub xml i (String.length needle) = needle then
+        loop (i + 1) (acc + 1)
+      else loop (i + 1) acc
+    in
+    loop 0 0
+  in
+  Alcotest.(check int) "two series" 2 (count "<generic:Series>");
+  Alcotest.(check int) "three obs" 3 (count "<generic:Obs>");
+  Alcotest.(check bool) "period format" true
+    (Astring_contains.contains xml "value=\"2020-Q1\"");
+  Alcotest.(check bool) "series key" true
+    (Astring_contains.contains xml "<generic:Value id=\"R\" value=\"north\"/>")
+
+let test_sdmx_escaping () =
+  let cube =
+    cube_of "X" [ ("r", Domain.String) ] [ [ vs "a<b&\"c\""; vf 1. ] ]
+  in
+  let xml = Sdmx.generic_data_of_cube cube in
+  Alcotest.(check bool) "escaped" true
+    (Astring_contains.contains xml "a&lt;b&amp;&quot;c&quot;")
+
+let test_sdmx_dataflows () =
+  let reg = overview_registry () in
+  let xml = Sdmx.dataflow_of_registry reg in
+  Alcotest.(check bool) "pdr dataflow" true
+    (Astring_contains.contains xml
+       "<structure:Dataflow id=\"PDR\" agencyID=\"EXLENGINE\" class=\"elementary\"")
+
+(* --- persistence --- *)
+
+let test_store_roundtrip () =
+  let reg = overview_registry () in
+  (* include a derived cube so kinds round-trip too *)
+  let out = check_ok (Exl.Interp.run (load_overview ()) reg) in
+  let dir = Filename.temp_file "exl_store" "" in
+  Sys.remove dir;
+  (match Store.save ~dir out with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Store.load ~dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok loaded ->
+      Alcotest.(check bool) "registries equal" true
+        (Registry.equal_data ~eps:1e-6 out loaded);
+      Alcotest.(check (option string)) "kind preserved" (Some "elementary")
+        (Option.map Registry.kind_to_string (Registry.kind_of loaded "PDR"));
+      Alcotest.(check (option string)) "derived preserved" (Some "derived")
+        (Option.map Registry.kind_to_string (Registry.kind_of loaded "GDP"))
+
+let test_manifest_parse_errors () =
+  (match Store.registry_schemas_of_manifest "bad line" with
+  | Error msg -> Alcotest.(check bool) "malformed" true
+      (Astring_contains.contains msg "malformed")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Store.registry_schemas_of_manifest "X|elementary|d:frobnicate|value:float\n" with
+  | Error msg ->
+      Alcotest.(check bool) "unknown domain" true
+        (Astring_contains.contains msg "unknown domain")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let suite =
+  [
+    ("date: rata die roundtrip", `Quick, test_date_rata_die_roundtrip);
+    ("date: known epoch", `Quick, test_date_known_epoch);
+    ("date: day of week", `Quick, test_date_day_of_week);
+    ("date: leap years", `Quick, test_date_leap_years);
+    ("date: add days", `Quick, test_date_add_days);
+    ("date: string roundtrip", `Quick, test_date_string_roundtrip);
+    ("period: of_date", `Quick, test_period_of_date);
+    ("period: shift across years", `Quick, test_period_shift_across_years);
+    ("period: start/end dates", `Quick, test_period_start_end);
+    ("period: iso weeks", `Quick, test_period_iso_weeks);
+    ("period: string roundtrip", `Quick, test_period_string_roundtrip);
+    ("period: convert frequency", `Quick, test_period_convert);
+    ("period: range", `Quick, test_period_range);
+    QCheck_alcotest.to_alcotest prop_period_shift_inverse;
+    QCheck_alcotest.to_alcotest prop_date_rata_die_bijective;
+    QCheck_alcotest.to_alcotest prop_period_of_date_contains;
+    ("value: numeric cross-type", `Quick, test_value_numeric_cross_type);
+    ("value: of_string_guess", `Quick, test_value_guess);
+    ("value: nan becomes null", `Quick, test_value_nan_becomes_null);
+    ("domain: membership", `Quick, test_domain_membership);
+    ("domain: union", `Quick, test_domain_union);
+    ("tuple: ordering and projection", `Quick, test_tuple_ordering);
+    QCheck_alcotest.to_alcotest prop_tuple_hash_consistent;
+    ("cube: functionality", `Quick, test_cube_functionality);
+    ("cube: null measures dropped", `Quick, test_cube_null_measure_dropped);
+    ("cube: merge join intersection", `Quick, test_cube_merge_join_intersection);
+    ("cube: merge join operand order", `Quick, test_cube_merge_join_operand_order);
+    ("cube: diff data", `Quick, test_cube_diff_data);
+    ("cube: of_rows validates", `Quick, test_cube_of_rows_validates);
+    ("series: sorted and contiguous", `Quick, test_series_sorted_and_contiguous);
+    ("series: date dims preserved", `Quick, test_series_roundtrip_preserves_date_dims);
+    ("registry: kinds and deep copy", `Quick, test_registry_kinds_and_copy);
+    ("csv: roundtrip with quoting", `Quick, test_csv_roundtrip);
+    ("csv: rejects bad header", `Quick, test_csv_rejects_bad_header);
+    ("csv: quoted newline", `Quick, test_csv_parse_quoted_newline);
+    QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+    ("sdmx: time periods", `Quick, test_sdmx_time_periods);
+    ("sdmx: dsd", `Quick, test_sdmx_dsd);
+    ("sdmx: generic data", `Quick, test_sdmx_generic_data);
+    ("sdmx: escaping", `Quick, test_sdmx_escaping);
+    ("sdmx: dataflows", `Quick, test_sdmx_dataflows);
+    ("store: roundtrip", `Quick, test_store_roundtrip);
+    ("store: manifest errors", `Quick, test_manifest_parse_errors);
+  ]

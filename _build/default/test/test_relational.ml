@@ -1,0 +1,326 @@
+(* SQL target: generation (paper Section 5.1 fragments), the in-memory
+   engine, and end-to-end equivalence with the reference interpreter. *)
+open Matrix
+open Helpers
+module M = Mappings
+
+let overview_mapping () =
+  (check_ok (M.Generate.of_source Helpers.overview_program)).M.Generate.mapping
+
+let insert_for mapping name =
+  match M.Mapping.tgd_for mapping name with
+  | None -> Alcotest.failf "no tgd for %s" name
+  | Some tgd -> (
+      match Relational.Sql_gen.insert_of_tgd mapping tgd with
+      | Ok i -> i
+      | Error msg -> Alcotest.failf "sql gen failed for %s: %s" name msg)
+
+(* --- SQL text --- *)
+
+let test_sql_join_fragment () =
+  let sql =
+    Relational.Sql_print.insert_to_string (insert_for (overview_mapping ()) "RGDP")
+  in
+  Alcotest.(check string) "paper's tgd (2) translation"
+    "INSERT INTO RGDP(Q, R, VALUE)\n\
+     SELECT C1.Q AS Q, C1.R AS R, C1.VALUE * C2.VALUE AS VALUE\n\
+     FROM RGDPPC C1, PQR C2\n\
+     WHERE C2.Q = C1.Q AND C2.R = C1.R"
+    sql
+
+let test_sql_group_by_fragment () =
+  let sql =
+    Relational.Sql_print.insert_to_string (insert_for (overview_mapping ()) "GDP")
+  in
+  Alcotest.(check string) "paper's tgd (3) translation"
+    "INSERT INTO GDP(Q, VALUE)\n\
+     SELECT Q, SUM(VALUE) AS VALUE\n\
+     FROM RGDP\nGROUP BY Q"
+    sql
+
+let test_sql_table_fn_fragment () =
+  let sql =
+    Relational.Sql_print.insert_to_string (insert_for (overview_mapping ()) "GDPT")
+  in
+  Alcotest.(check string) "paper's tgd (4) translation"
+    "INSERT INTO GDPT(Q, VALUE)\nSELECT Q, VALUE\nFROM STL_T(GDP)" sql
+
+let test_ddl_has_primary_keys () =
+  let ddl = Relational.Sql_gen.ddl_of_mapping (overview_mapping ()) in
+  Alcotest.(check bool) "create gdp" true
+    (String.length ddl > 0
+    && Astring_contains.contains ddl "CREATE TABLE GDP"
+    && Astring_contains.contains ddl "PRIMARY KEY (Q)")
+
+(* --- engine basics --- *)
+
+let lookup_none _ = None
+
+let test_executor_constant_select () =
+  let db = Relational.Database.create () in
+  let select =
+    {
+      Relational.Sql_ast.projections = [ (Relational.Sql_ast.Lit (vf 42.), "x") ];
+      from = Relational.Sql_ast.Tables [];
+      where = [];
+      group_by = [];
+    }
+  in
+  match Relational.Executor.rows_of_select db lookup_none select with
+  | Ok [ [| v |] ] -> Alcotest.check value "42" (vf 42.) v
+  | Ok _ -> Alcotest.fail "expected one row"
+  | Error e -> Alcotest.fail e
+
+let test_plan_explain_shapes () =
+  let mapping = overview_mapping () in
+  let insert = insert_for mapping "RGDP" in
+  let plan =
+    check_ok
+      (Result.map_error Exl.Errors.make
+         (Relational.Executor.plan_of_select
+            (M.Mapping.target_schema mapping)
+            insert.Relational.Sql_ast.select))
+  in
+  let text = Relational.Plan.explain plan in
+  Alcotest.(check bool) "hash join in plan" true
+    (Astring_contains.contains text "HASH JOIN");
+  Alcotest.(check bool) "scans in plan" true
+    (Astring_contains.contains text "SCAN RGDPPC AS C1")
+
+(* --- end-to-end equivalence --- *)
+
+let registries_agree ~names a b =
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq ("cube " ^ name) (Registry.find_exn a name)
+        (Registry.find_exn b name))
+    names
+
+let overview_names = [ "PQR"; "RGDP"; "GDP"; "GDPT"; "PCHNG" ]
+
+let test_sql_target_overview () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  let via_sql = check_ok (Relational.Sql_target.run_program checked reg) in
+  registries_agree ~names:overview_names reference via_sql
+
+let test_sql_target_overview_fused () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  let via_sql = check_ok (Relational.Sql_target.run_program ~fused:true checked reg) in
+  registries_agree ~names:overview_names reference via_sql;
+  (* Fusion removes the temp tables entirely. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " absent") false (Registry.mem via_sql name))
+    [ "PCHNG__1"; "PCHNG__2"; "PCHNG__3" ]
+
+let test_sql_views_script () =
+  let checked = load_overview () in
+  let sql =
+    check_ok (Relational.Sql_target.script_of_program ~views:`Temporaries checked)
+  in
+  Alcotest.(check bool) "create view" true
+    (Astring_contains.contains sql "CREATE VIEW PCHNG__1");
+  Alcotest.(check bool) "final insert stays" true
+    (Astring_contains.contains sql "INSERT INTO PCHNG")
+
+let test_sql_views_execution () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  let via_views =
+    check_ok (Relational.Sql_target.run_program ~views:`Temporaries checked reg)
+  in
+  registries_agree ~names:overview_names reference via_views;
+  (* the temporaries were never materialized *)
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " empty") 0
+        (Cube.cardinality (Registry.find_exn via_views name)))
+    [ "PCHNG__1" ]
+
+let prop_sql_views_matches_interp =
+  QCheck.Test.make ~count:30
+    ~name:"view-based SQL target == interpreter on random programs" Gen.arb_seed
+    (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      let reference = check_ok (Exl.Interp.run checked reg) in
+      match Relational.Sql_target.run_program ~views:`Temporaries checked reg with
+      | Error e ->
+          QCheck.Test.fail_reportf "sql views: %s\n%s" (Exl.Errors.to_string e) src
+      | Ok via_sql ->
+          List.for_all
+            (fun name ->
+              match Registry.find via_sql name with
+              | Some got ->
+                  Cube.equal_data ~eps:1e-7 (Registry.find_exn reference name) got
+                  || QCheck.Test.fail_reportf "cube %s differs on\n%s" name src
+              | None -> QCheck.Test.fail_reportf "missing %s on\n%s" name src)
+            (Registry.names reference))
+
+let prop_sql_matches_interp =
+  QCheck.Test.make ~count:40 ~name:"SQL target == interpreter on random programs"
+    Gen.arb_seed (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      let reference =
+        match Exl.Interp.run checked reg with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "interp: %s" (Exl.Errors.to_string e)
+      in
+      match Relational.Sql_target.run_program checked reg with
+      | Error e ->
+          QCheck.Test.fail_reportf "sql: %s\n%s" (Exl.Errors.to_string e) src
+      | Ok via_sql ->
+          List.for_all
+            (fun name ->
+              match Registry.find via_sql name with
+              | Some got ->
+                  Cube.equal_data ~eps:1e-7 (Registry.find_exn reference name) got
+                  || QCheck.Test.fail_reportf "cube %s differs on\n%s" name src
+              | None -> QCheck.Test.fail_reportf "missing %s on\n%s" name src)
+            (Registry.names reference))
+
+let prop_sql_fused_matches_interp =
+  QCheck.Test.make ~count:40
+    ~name:"fused SQL target == interpreter on random programs" Gen.arb_seed
+    (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      let reference = check_ok (Exl.Interp.run checked reg) in
+      match Relational.Sql_target.run_program ~fused:true checked reg with
+      | Error e ->
+          QCheck.Test.fail_reportf "sql: %s\n%s" (Exl.Errors.to_string e) src
+      | Ok via_sql ->
+          List.for_all
+            (fun name ->
+              match Registry.find via_sql name with
+              | Some got ->
+                  Cube.equal_data ~eps:1e-7 (Registry.find_exn reference name) got
+                  || QCheck.Test.fail_reportf "cube %s differs on\n%s" name src
+              | None -> QCheck.Test.fail_reportf "missing %s on\n%s" name src)
+            (Registry.names reference))
+
+(* --- the SQL parser: printer fixpoint and execution equivalence --- *)
+
+let test_parser_roundtrip_overview () =
+  let checked = load_overview () in
+  List.iter
+    (fun views ->
+      let text =
+        check_ok (Relational.Sql_target.script_of_program ~views checked)
+      in
+      match Relational.Sql_parser.parse_script text with
+      | Error msg -> Alcotest.failf "parse failed: %s\n%s" msg text
+      | Ok statements ->
+          Alcotest.(check string) "printer fixpoint" text
+            (Relational.Sql_print.statements_to_string statements))
+    [ `None; `Temporaries ]
+
+let test_parser_expressions () =
+  let roundtrip src =
+    match Relational.Sql_parser.parse_expr src with
+    | Ok e -> Relational.Sql_print.expr_to_string e
+    | Error msg -> Alcotest.failf "parse %s: %s" src msg
+  in
+  List.iter
+    (fun src -> Alcotest.(check string) src src (roundtrip src))
+    [
+      "C1.Q + 1";
+      "COALESCE(C1.VALUE, 0) * COALESCE(C2.VALUE, 0)";
+      "100 * (C1.VALUE - C2.VALUE) / C1.VALUE";
+      "QUARTER(D)";
+      "LOG(2, C1.VALUE)";
+      "SUM(VALUE)";
+      "'overnight'";
+      "PERIOD '2023Q1'";
+      "DATE '2023-01-02'";
+      "NULL";
+    ]
+
+let test_parser_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Relational.Sql_parser.parse_statement src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %s" src)
+    [
+      "DELETE FROM X";
+      "INSERT INTO X(A) SELECT";
+      "INSERT INTO X(A) SELECT 1 FROM A B C";
+      "CREATE VIEW V(A) SELECT 1";
+    ]
+
+let test_parsed_script_executes_equivalently () =
+  (* print → parse → execute: same cubes as the reference interpreter *)
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let { M.Generate.mapping; _ } = check_ok (M.Generate.of_checked checked) in
+  let text =
+    Relational.Sql_print.statements_to_string
+      (check_ok
+         (Result.map_error Exl.Errors.make
+            (Relational.Sql_gen.statements_of_mapping mapping)))
+  in
+  let statements =
+    check_ok (Result.map_error Exl.Errors.make (Relational.Sql_parser.parse_script text))
+  in
+  let db = Relational.Database.create () in
+  List.iter
+    (fun schema ->
+      Relational.Database.load_cube db
+        (Cube.with_schema schema (Registry.find_exn reg schema.Schema.name)))
+    mapping.M.Mapping.source;
+  (match
+     Relational.Executor.run_statements db (M.Mapping.target_schema mapping)
+       statements
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "execution of parsed script failed: %s" msg);
+  let result =
+    Relational.Database.to_registry db ~schemas:mapping.M.Mapping.target
+      ~elementary:[]
+  in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  registries_agree ~names:overview_names reference result
+
+let prop_parser_fixpoint =
+  QCheck.Test.make ~count:40 ~name:"SQL parse . print is the identity on generated scripts"
+    Gen.arb_seed (fun seed ->
+      let src, _ = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      match Relational.Sql_target.script_of_program checked with
+      | Error e -> QCheck.Test.fail_reportf "gen: %s" (Exl.Errors.to_string e)
+      | Ok text -> (
+          match Relational.Sql_parser.parse_script text with
+          | Error msg -> QCheck.Test.fail_reportf "parse: %s\n%s" msg text
+          | Ok statements ->
+              let printed = Relational.Sql_print.statements_to_string statements in
+              printed = text
+              || QCheck.Test.fail_reportf "not a fixpoint:\n%s\nvs\n%s" text printed))
+
+let suite =
+  [
+    ("sql text: join fragment", `Quick, test_sql_join_fragment);
+    ("sql text: group by fragment", `Quick, test_sql_group_by_fragment);
+    ("sql text: table function fragment", `Quick, test_sql_table_fn_fragment);
+    ("sql text: ddl", `Quick, test_ddl_has_primary_keys);
+    ("executor: constant select", `Quick, test_executor_constant_select);
+    ("executor: plan explain", `Quick, test_plan_explain_shapes);
+    ("end-to-end: overview", `Quick, test_sql_target_overview);
+    ("end-to-end: overview fused", `Quick, test_sql_target_overview_fused);
+    ("views: script", `Quick, test_sql_views_script);
+    ("views: execution", `Quick, test_sql_views_execution);
+    QCheck_alcotest.to_alcotest prop_sql_views_matches_interp;
+    ("parser: overview roundtrip", `Quick, test_parser_roundtrip_overview);
+    ("parser: expressions", `Quick, test_parser_expressions);
+    ("parser: rejects garbage", `Quick, test_parser_rejects_garbage);
+    ("parser: parsed script executes", `Quick, test_parsed_script_executes_equivalently);
+    QCheck_alcotest.to_alcotest prop_parser_fixpoint;
+    QCheck_alcotest.to_alcotest prop_sql_matches_interp;
+    QCheck_alcotest.to_alcotest prop_sql_fused_matches_interp;
+  ]

@@ -1,0 +1,158 @@
+(* Vector (R/Matlab) target: frame engine, script generation and
+   printing, end-to-end equivalence. *)
+open Matrix
+open Helpers
+module M = Mappings
+
+let frame_of_cols cols = Vector.Frame.create cols
+
+(* --- frame engine --- *)
+
+let test_merge_basic () =
+  let a =
+    frame_of_cols
+      [ ("q", [| vi 1; vi 2 |]); ("value", [| vf 10.; vf 20. |]) ]
+  in
+  let b =
+    frame_of_cols
+      [ ("q", [| vi 2; vi 3 |]); ("value", [| vf 5.; vf 7. |]) ]
+  in
+  let m = Vector.Frame_ops.merge ~by:[ "q" ] a b in
+  Alcotest.(check int) "one match" 1 (Vector.Frame.length m);
+  Alcotest.(check (list string)) "suffixed columns"
+    [ "q"; "value_x"; "value_y" ]
+    (Vector.Frame.columns m);
+  Alcotest.check value "left measure" (vf 20.) (Vector.Frame.column m "value_x").(0)
+
+let test_merge_null_keys_never_match () =
+  let a = frame_of_cols [ ("q", [| Value.Null |]); ("v", [| vf 1. |]) ] in
+  let b = frame_of_cols [ ("q", [| Value.Null |]); ("w", [| vf 2. |]) ] in
+  let m = Vector.Frame_ops.merge ~by:[ "q" ] a b in
+  Alcotest.(check int) "no rows" 0 (Vector.Frame.length m)
+
+let test_eval_col_arithmetic () =
+  let f =
+    frame_of_cols [ ("p", [| vf 3.; vf 0. |]); ("g", [| vf 4.; vf 5. |]) ]
+  in
+  let out =
+    Vector.Frame_ops.eval_col f
+      (Vector.Frame_ops.Bin (Ops.Binop.Div, Vector.Frame_ops.Col "g", Vector.Frame_ops.Col "p"))
+  in
+  Alcotest.check value "4/3" (vf (4. /. 3.)) out.(0);
+  Alcotest.check value "div by zero is null" Value.Null out.(1)
+
+let test_group_aggregate () =
+  let f =
+    frame_of_cols
+      [
+        ("r", [| vs "a"; vs "a"; vs "b" |]);
+        ("value", [| vf 1.; vf 3.; vf 10. |]);
+      ]
+  in
+  let out =
+    Vector.Frame_ops.group_aggregate
+      ~by:[ ("r", Vector.Frame_ops.Col "r") ]
+      ~aggr:Stats.Aggregate.Avg
+      ~measure:(Vector.Frame_ops.Col "value") f
+  in
+  Alcotest.(check int) "two groups" 2 (Vector.Frame.length out);
+  let cube =
+    Vector.Frame.to_cube
+      (Schema.make ~name:"X" ~dims:[ ("r", Domain.String) ] ())
+      out
+  in
+  Alcotest.check value "avg a" (vf 2.) (Option.get (Cube.find cube (key [ vs "a" ])))
+
+let test_frame_cube_roundtrip () =
+  let reg = overview_registry () in
+  let pdr = Registry.find_exn reg "PDR" in
+  let frame = Vector.Frame.of_cube pdr in
+  let back = Vector.Frame.to_cube (Cube.schema pdr) frame in
+  Alcotest.check cube_eq "roundtrip" pdr back
+
+(* --- script generation and printing --- *)
+
+let overview_mapping () =
+  (check_ok (M.Generate.of_source Helpers.overview_program)).M.Generate.mapping
+
+let test_r_script_fragments () =
+  let checked = load_overview () in
+  let r = check_ok (Vector.Vector_target.r_script_of_program checked) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true
+        (Astring_contains.contains r fragment))
+    [
+      "merge(RGDPPC, PQR, by=c(\"q\", \"r\"))";
+      "t_RGDP$c_value <- t_RGDP[\"value_x\"] * t_RGDP[\"value_y\"]";
+      "stl(GDP, \"periodic\")";
+      "$time.series[ , \"trend\"]";
+      "aggregate(";
+    ]
+
+let test_matlab_script_fragments () =
+  let checked = load_overview () in
+  let m = check_ok (Vector.Vector_target.matlab_script_of_program checked) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true
+        (Astring_contains.contains m fragment))
+    [ "join(RGDPPC, [1 2], PQR, [1 2])"; ".*"; "isolateTrend(GDP)" ]
+
+let test_script_gen_rejects_fused () =
+  let fused = M.Fuse.mapping (overview_mapping ()) in
+  match Vector.Script_gen.script_of_mapping fused with
+  | Error msg ->
+      Alcotest.(check bool) "mentions atoms" true
+        (Astring_contains.contains msg "two atoms")
+  | Ok _ -> Alcotest.fail "expected rejection of >2-atom tgds"
+
+(* --- end-to-end --- *)
+
+let overview_names = [ "PQR"; "RGDP"; "GDP"; "GDPT"; "PCHNG" ]
+
+let test_vector_target_overview () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let reference = check_ok (Exl.Interp.run checked reg) in
+  let via_vector = check_ok (Vector.Vector_target.run_program checked reg) in
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq ("cube " ^ name)
+        (Registry.find_exn reference name)
+        (Registry.find_exn via_vector name))
+    overview_names
+
+let prop_vector_matches_interp =
+  QCheck.Test.make ~count:40
+    ~name:"vector target == interpreter on random programs" Gen.arb_seed
+    (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      let checked = Exl.Program.load_exn src in
+      let reference = check_ok (Exl.Interp.run checked reg) in
+      match Vector.Vector_target.run_program checked reg with
+      | Error e ->
+          QCheck.Test.fail_reportf "vector: %s\n%s" (Exl.Errors.to_string e) src
+      | Ok via_vector ->
+          List.for_all
+            (fun name ->
+              match Registry.find via_vector name with
+              | Some got ->
+                  Cube.equal_data ~eps:1e-7 (Registry.find_exn reference name) got
+                  || QCheck.Test.fail_reportf "cube %s differs on\n%s" name src
+              | None -> QCheck.Test.fail_reportf "missing %s on\n%s" name src)
+            (Registry.names reference))
+
+let suite =
+  [
+    ("frame: merge", `Quick, test_merge_basic);
+    ("frame: null keys never match", `Quick, test_merge_null_keys_never_match);
+    ("frame: column arithmetic", `Quick, test_eval_col_arithmetic);
+    ("frame: group aggregate", `Quick, test_group_aggregate);
+    ("frame: cube roundtrip", `Quick, test_frame_cube_roundtrip);
+    ("print: R fragments", `Quick, test_r_script_fragments);
+    ("print: Matlab fragments", `Quick, test_matlab_script_fragments);
+    ("gen: rejects fused tgds", `Quick, test_script_gen_rejects_fused);
+    ("end-to-end: overview", `Quick, test_vector_target_overview);
+    QCheck_alcotest.to_alcotest prop_vector_matches_interp;
+  ]
