@@ -11,11 +11,20 @@
 
 open Cmdliner
 
+(* cmdliner's [Arg.file] accepts directories too; reading one raises
+   Sys_error, so wrap drivers with [with_source]. *)
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_source file k =
+  match read_file file with
+  | source -> k source
+  | exception Sys_error msg ->
+      prerr_endline ("error: cannot read " ^ file ^ ": " ^ msg);
+      1
 
 type emit =
   | Tgds
@@ -85,7 +94,7 @@ let write_bundle dir program source =
   loop artifacts
 
 let run file emit out_dir =
-  let source = read_file file in
+  with_source file @@ fun source ->
   match Exl.Program.load source with
   | Error e ->
       prerr_endline
@@ -146,10 +155,64 @@ let out_arg =
           "Write every artifact (tgds, DDL, SQL, R, Matlab, Kettle XML, dot) \
            into $(docv).")
 
+(* --- lint subcommand ------------------------------------------------ *)
+
+type lint_format = Text | Json
+
+let lint file format deny_warnings suppress =
+  with_source file @@ fun source ->
+  let report =
+    Analysis.Lint.filter ~suppress (Analysis.Lint.source_diagnostics source)
+  in
+  (match format with
+  | Text -> print_endline (Analysis.Lint.render_text ~source report)
+  | Json -> print_endline (Analysis.Lint.render_json report));
+  Analysis.Lint.exit_code ~deny_warnings report
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (default) or $(b,json).")
+
+let deny_warnings_arg =
+  Arg.(
+    value & flag
+    & info [ "deny-warnings" ]
+        ~doc:"Exit non-zero if any warning remains after suppression.")
+
+let suppress_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "W"; "suppress" ] ~docv:"CODE"
+        ~doc:
+          "Suppress the warning $(docv) (e.g. $(b,-W W101)); repeatable. \
+           Errors cannot be suppressed.")
+
+let lint_cmd =
+  let doc =
+    "lint an EXL program: accumulate all type errors, run the EXL lints and \
+     the mapping-level checks (tgd safety, weak acyclicity, egd consistency, \
+     stratification)"
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const lint $ file_arg $ format_arg $ deny_warnings_arg $ suppress_arg)
+
 let cmd =
   let doc = "compile EXL statistical programs into executable schema mappings" in
   Cmd.v
     (Cmd.info "exlc" ~version:"1.0" ~doc)
     Term.(const run $ file_arg $ emit_arg $ out_arg)
 
-let () = exit (Cmd.eval' cmd)
+(* [exlc lint …] dispatches to the lint subcommand; anything else keeps
+   the historical positional interface ([exlc file.exl --emit tgds]),
+   which a command group would shadow. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "lint" then
+    let rest = Array.sub argv 2 (Array.length argv - 2) in
+    exit (Cmd.eval' ~argv:(Array.append [| "exlc lint" |] rest) lint_cmd)
+  else exit (Cmd.eval' cmd)

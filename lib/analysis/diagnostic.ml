@@ -1,0 +1,128 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Exl.Ast.pos option;
+  message : string;
+}
+
+let severity_of_code code =
+  if String.length code > 0 && code.[0] = 'W' then Warning else Error
+
+let make ~code ?pos message = { code; severity = severity_of_code code; pos; message }
+
+let makef ~code ?pos fmt =
+  Format.kasprintf (fun message -> make ~code ?pos message) fmt
+
+let of_error ?(default_code = "E002") (e : Exl.Errors.t) =
+  make
+    ~code:(Option.value ~default:default_code e.Exl.Errors.code)
+    ?pos:e.Exl.Errors.pos e.Exl.Errors.msg
+
+let is_error d = d.severity = Error
+let is_warning d = d.severity = Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let pos_key = function
+    | None -> (max_int, max_int)
+    | Some p -> (p.Exl.Ast.line, p.Exl.Ast.col)
+  in
+  let c = Stdlib.compare (pos_key a.pos) (pos_key b.pos) in
+  if c <> 0 then c else Stdlib.compare (a.code, a.message) (b.code, b.message)
+
+let sort ds = List.stable_sort compare ds
+
+(* The full code catalogue; docs/DIAGNOSTICS.md is generated from the
+   same descriptions, and the test suite asserts every emitted code is
+   registered here. *)
+let catalogue =
+  [
+    ("E001", "syntax error (lexer or parser)");
+    ("E002", "type error");
+    ("E003", "duplicate dimension name in a declaration or group by");
+    ("E004", "group by key is not a dimension of the operand");
+    ("E005", "unknown operator");
+    ("E006", "operator arity or signature mismatch");
+    ("E007", "reference to an undefined cube");
+    ("E008", "vectorial operands have mismatched dimensions");
+    ("E009", "cube declared or defined twice");
+    ("W101", "elementary cube declared but never used");
+    ("W102", "derived cube never reaches any emitted target");
+    ("W103", "aggregation groups by every dimension of its operand (no-op)");
+    ("W104", "black-box operator needs a seasonal period that is neither \
+              given nor inferable");
+    ("W105", "shift distance is zero or exceeds the representable calendar \
+              range");
+    ("E201", "unsafe tgd: a head variable is not bound by any body atom");
+    ("E202", "dependency graph is not weakly acyclic (cycle through a \
+              value-creating edge); chase termination not certified");
+    ("E203", "functionality egd (dims determine measure) is not implied by \
+              the defining tgd");
+    ("E204", "stratification failure: tgd order is not a valid total order");
+    ("W205", "target relation is never produced by any tgd");
+  ]
+
+let description code = List.assoc_opt code catalogue
+let known_codes = List.map fst catalogue
+
+let to_string d =
+  let loc =
+    match d.pos with
+    | Some p -> Format.asprintf "%a: " Exl.Ast.pp_pos p
+    | None -> ""
+  in
+  Printf.sprintf "%s[%s]: %s%s" (severity_to_string d.severity) d.code loc
+    d.message
+
+let to_string_with_source ~source d =
+  match d.pos with
+  | None -> to_string d
+  | Some p ->
+      let lines = String.split_on_char '\n' source in
+      if p.Exl.Ast.line < 1 || p.Exl.Ast.line > List.length lines then
+        to_string d
+      else
+        let line = List.nth lines (p.Exl.Ast.line - 1) in
+        let caret = String.make (max 0 (p.Exl.Ast.col - 1)) ' ' ^ "^" in
+        Printf.sprintf "%s\n  %s\n  %s" (to_string d) line caret
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let pos_fields =
+    match d.pos with
+    | Some p ->
+        Printf.sprintf {|"line":%d,"col":%d,|} p.Exl.Ast.line p.Exl.Ast.col
+    | None -> ""
+  in
+  Printf.sprintf {|{"code":"%s","severity":"%s",%s"message":"%s"}|}
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    pos_fields (json_escape d.message)
+
+let list_to_json ds =
+  let errors = List.length (List.filter is_error ds) in
+  let warnings = List.length (List.filter is_warning ds) in
+  Printf.sprintf
+    {|{"diagnostics":[%s],"summary":{"errors":%d,"warnings":%d}}|}
+    (String.concat "," (List.map to_json ds))
+    errors warnings
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,237 @@
+(* EXL-level lint passes.
+
+   These run on a successfully type-checked program and find code that
+   is legal but suspicious: dead cubes, no-op aggregations, operator
+   uses that are guaranteed to fail at run time, shifts that fall off
+   the calendar.  Every finding carries a W1xx code from
+   Diagnostic.catalogue. *)
+
+open Matrix
+module Ast = Exl.Ast
+module Typecheck = Exl.Typecheck
+
+let referenced_cubes (checked : Typecheck.checked) =
+  let referenced = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      List.iter
+        (fun name -> Hashtbl.replace referenced name ())
+        (Ast.cube_refs s.Ast.rhs))
+    checked.Typecheck.statements;
+  referenced
+
+(* W101: elementary cube declared but never referenced. *)
+let unused_elementary (checked : Typecheck.checked) =
+  let referenced = referenced_cubes checked in
+  List.filter_map
+    (fun (d : Ast.decl) ->
+      if Hashtbl.mem referenced d.Ast.d_name then None
+      else
+        Some
+          (Diagnostic.makef ~code:"W101" ~pos:d.Ast.d_pos
+             "elementary cube %s is declared but never used" d.Ast.d_name))
+    (Ast.decls checked.Typecheck.program)
+
+(* W102: derived cube that never reaches any emitted target.
+
+   The program's emitted targets are its sinks — derived cubes no later
+   statement consumes — except normalizer-style temporaries ([X__n]),
+   which exist only to feed real cubes.  A derived cube all of whose
+   consumers bottom out in such dead temporaries (or that is itself a
+   dead temporary) computes data nobody ever sees. *)
+let unreached_derived (checked : Typecheck.checked) =
+  let stmts = checked.Typecheck.statements in
+  let consumers = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      List.iter
+        (fun operand ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt consumers operand) in
+          Hashtbl.replace consumers operand (s.Ast.lhs :: prev))
+        (Ast.cube_refs s.Ast.rhs))
+    stmts;
+  let is_sink name = not (Hashtbl.mem consumers name) in
+  let emitted =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        if is_sink s.Ast.lhs && not (Exl.Normalize.is_temp s.Ast.lhs) then
+          Some s.Ast.lhs
+        else None)
+      stmts
+  in
+  (* Cubes that reach an emitted target: walk the operand edges
+     backwards from the emitted sinks. *)
+  let operands_of = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      Hashtbl.replace operands_of s.Ast.lhs (Ast.cube_refs s.Ast.rhs))
+    stmts;
+  let reaches = Hashtbl.create 16 in
+  let rec mark name =
+    if not (Hashtbl.mem reaches name) then begin
+      Hashtbl.replace reaches name ();
+      List.iter mark (Option.value ~default:[] (Hashtbl.find_opt operands_of name))
+    end
+  in
+  List.iter mark emitted;
+  List.filter_map
+    (fun (s : Ast.stmt) ->
+      if Hashtbl.mem reaches s.Ast.lhs then None
+      else
+        Some
+          (Diagnostic.makef ~code:"W102" ~pos:s.Ast.s_pos
+             "derived cube %s never reaches any emitted target (only dead \
+              temporaries consume it)"
+             s.Ast.lhs))
+    stmts
+
+(* Walk every call expression in the original (pre-normalization)
+   program, with the final environment available for operand typing. *)
+let iter_calls (checked : Typecheck.checked) f =
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Number _ | Ast.Cube_ref _ -> ()
+    | Ast.Neg a -> go a
+    | Ast.Binop (_, a, b) ->
+        go a;
+        go b
+    | Ast.Call c ->
+        f c;
+        List.iter go c.Ast.args
+  in
+  List.iter (fun (s : Ast.stmt) -> go s.Ast.rhs) checked.Typecheck.statements
+
+let operand_dims env (e : Ast.expr) =
+  match Typecheck.infer_expr env e with
+  | Ok (Typecheck.Cube_ty dims) -> Some dims
+  | Ok Typecheck.Scalar_ty | Error _ -> None
+
+(* W103: aggregation whose group-by keys are exactly the operand's
+   dimensions (no dimension function, no collapsing): every group is a
+   singleton, so the aggregation is an expensive identity. *)
+let noop_aggregation (checked : Typecheck.checked) =
+  let env = checked.Typecheck.env in
+  let out = ref [] in
+  iter_calls checked (fun c ->
+      match (Ast.classify c.Ast.fn, c.Ast.group_by, c.Ast.args) with
+      | Ast.Agg_op _, Some items, [ operand ]
+        when List.for_all (fun (i : Ast.dim_item) -> i.Ast.fn = None) items -> (
+          match operand_dims env operand with
+          | Some dims
+            when List.length items = List.length dims
+                 && List.for_all
+                      (fun (i : Ast.dim_item) -> List.mem_assoc i.Ast.src dims)
+                      items ->
+              out :=
+                Diagnostic.makef ~code:"W103" ~pos:c.Ast.pos
+                  "%s groups by every dimension of its operand; each group \
+                   is a singleton, so the aggregation is a no-op"
+                  c.Ast.fn
+                :: !out
+          | _ -> ())
+      | _ -> ());
+  List.rev !out
+
+let periods_per_year = function
+  | Calendar.Year -> 1
+  | Calendar.Semester -> 2
+  | Calendar.Quarter -> 4
+  | Calendar.Month -> 12
+  | Calendar.Week -> 52
+  | Calendar.Day -> 365
+
+(* The calendar supports years 1..9999; a shift whose distance exceeds
+   that whole span can never land on a representable period. *)
+let calendar_span_years = 9999
+
+(* W104: a black-box operator that needs a seasonal period, called
+   without an explicit one, on an operand whose frequency admits none
+   (annual data has no sub-year season) — guaranteed runtime failure. *)
+let blackbox_period (checked : Typecheck.checked) =
+  let env = checked.Typecheck.env in
+  let out = ref [] in
+  iter_calls checked (fun c ->
+      match Ast.classify c.Ast.fn with
+      | Ast.Blackbox_op b when b.Ops.Blackbox.needs_period -> (
+          match Ast.split_call_args c with
+          | Ok ([], Some operand) -> (
+              match operand_dims env operand with
+              | Some dims -> (
+                  let temporal =
+                    List.filter (fun (_, d) -> Domain.is_temporal d) dims
+                  in
+                  match temporal with
+                  | [ (dim, Domain.Period (Some f)) ]
+                    when Ops.Blackbox.default_period f = None ->
+                      out :=
+                        Diagnostic.makef ~code:"W104" ~pos:c.Ast.pos
+                          "%s needs a seasonal period, but none is given and \
+                           none is inferable from the %s frequency of \
+                           dimension %s"
+                          c.Ast.fn
+                          (Domain.to_string (Domain.Period (Some f)))
+                          dim
+                        :: !out
+                  | _ -> ())
+              | None -> ())
+          | _ -> ())
+      | _ -> ());
+  List.rev !out
+
+(* W105: shift by zero (a no-op) or by a distance no calendar start can
+   absorb (the result is guaranteed out of the representable range). *)
+let shift_range (checked : Typecheck.checked) =
+  let env = checked.Typecheck.env in
+  let out = ref [] in
+  let warn pos fmt = Diagnostic.makef ~code:"W105" ~pos fmt in
+  iter_calls checked (fun c ->
+      if Ast.classify c.Ast.fn = Ast.Shift_op then
+        let operand, dim, amount =
+          match c.Ast.args with
+          | [ e; k ] -> (Some e, None, Ast.as_number k)
+          | [ e; Ast.Cube_ref d; k ] -> (Some e, Some d, Ast.as_number k)
+          | _ -> (None, None, None)
+        in
+        match (operand, amount) with
+        | Some operand, Some k ->
+            if k = 0. then
+              out := warn c.Ast.pos "shift by 0 is a no-op" :: !out
+            else (
+              match operand_dims env operand with
+              | None -> ()
+              | Some dims -> (
+                  let domain =
+                    match dim with
+                    | Some d -> List.assoc_opt d dims
+                    | None -> (
+                        match
+                          List.filter (fun (_, d) -> Domain.is_temporal d) dims
+                        with
+                        | [ (_, d) ] -> Some d
+                        | _ -> None)
+                  in
+                  let per_year =
+                    match domain with
+                    | Some (Domain.Period (Some f)) -> Some (periods_per_year f)
+                    | Some Domain.Date -> Some 365
+                    | _ -> None
+                  in
+                  match per_year with
+                  | Some per_year
+                    when Float.abs k
+                         > float_of_int (calendar_span_years * per_year) ->
+                      out :=
+                        warn c.Ast.pos
+                          "shift distance %g exceeds the whole representable \
+                           calendar (%d periods); the result is always empty"
+                          k
+                          (calendar_span_years * per_year)
+                        :: !out
+                  | _ -> ()))
+        | _ -> ());
+  List.rev !out
+
+let run (checked : Typecheck.checked) =
+  Diagnostic.sort
+    (unused_elementary checked @ unreached_derived checked
+   @ noop_aggregation checked @ blackbox_period checked @ shift_range checked)

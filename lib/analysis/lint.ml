@@ -1,0 +1,79 @@
+(* Lint driver: runs every analysis layer over an EXL source and
+   produces one diagnostic report.
+
+   Pipeline: parse (E001) → typecheck, accumulating (E00x) → EXL lints
+   (W10x) → mapping generation → mapping checks (E20x/W205).  Later
+   layers only run when earlier ones succeed — lints on an ill-typed
+   program would be noise. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  checked : Exl.Typecheck.checked option;
+  mapping : Mappings.Mapping.t option;
+}
+
+let source_diagnostics source =
+  match Exl.Parser.parse source with
+  | Error e ->
+      {
+        diagnostics = [ Diagnostic.of_error ~default_code:"E001" e ];
+        checked = None;
+        mapping = None;
+      }
+  | Ok ast -> (
+      match Exl.Typecheck.check ast with
+      | Error errs ->
+          {
+            diagnostics = List.map Diagnostic.of_error errs;
+            checked = None;
+            mapping = None;
+          }
+      | Ok checked ->
+          let exl_findings = Exl_lints.run checked in
+          let mapping, map_findings =
+            match Mappings.Generate.of_checked checked with
+            | Ok g ->
+                ( Some g.Mappings.Generate.mapping,
+                  Map_lints.run g.Mappings.Generate.mapping )
+            | Error e -> (None, [ Diagnostic.of_error e ])
+          in
+          {
+            diagnostics = Diagnostic.sort (exl_findings @ map_findings);
+            checked = Some checked;
+            mapping;
+          })
+
+let filter ~suppress report =
+  (* only warnings can be suppressed; errors always survive *)
+  {
+    report with
+    diagnostics =
+      List.filter
+        (fun d ->
+          Diagnostic.is_error d || not (List.mem d.Diagnostic.code suppress))
+        report.diagnostics;
+  }
+
+let exit_code ~deny_warnings report =
+  if List.exists Diagnostic.is_error report.diagnostics then 1
+  else if deny_warnings && report.diagnostics <> [] then 1
+  else 0
+
+let render_text ?source report =
+  let render =
+    match source with
+    | Some source -> Diagnostic.to_string_with_source ~source
+    | None -> Diagnostic.to_string
+  in
+  let body = List.map render report.diagnostics in
+  let errors = List.length (List.filter Diagnostic.is_error report.diagnostics) in
+  let warnings =
+    List.length (List.filter Diagnostic.is_warning report.diagnostics)
+  in
+  let summary =
+    if errors = 0 && warnings = 0 then "no diagnostics"
+    else Printf.sprintf "%d error(s), %d warning(s)" errors warnings
+  in
+  String.concat "\n" (body @ [ summary ])
+
+let render_json report = Diagnostic.list_to_json report.diagnostics

@@ -128,7 +128,7 @@ let register_source t ~name source =
           !synthetic
       in
       (match Exl.Typecheck.check (prelude @ program) with
-      | Error e -> Error (Exl.Errors.to_string e)
+      | Error es -> Error (Exl.Errors.list_to_string es)
       | Ok checked -> register_program ~synthetic:!synthetic t ~name checked)
 
 let cubes t =
@@ -200,7 +200,7 @@ let build_program t ~cubes:selected =
     in
     match Exl.Typecheck.check (decls @ stmts) with
     | Ok checked -> Ok checked
-    | Error e -> Error (Exl.Errors.to_string e)
+    | Error es -> Error (Exl.Errors.list_to_string es)
   end
 
 let partition ~assign ordered =

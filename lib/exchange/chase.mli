@@ -21,6 +21,13 @@ type stats = {
 
 val empty_stats : unit -> stats
 
+val static_check : (Mappings.Mapping.t -> (unit, string) result) ref
+(** Pre-chase hook, run on the mapping at the top of {!run}; defaults
+    to a no-op.  The test harness injects the analysis library's
+    weak-acyclicity + safety certificate here, so every mapping the
+    suite chases is also statically certified (the chase itself cannot
+    depend on the analysis library). *)
+
 val run :
   ?check_egds:bool ->
   Mappings.Mapping.t ->

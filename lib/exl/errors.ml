@@ -1,7 +1,7 @@
-type t = { pos : Ast.pos option; msg : string }
+type t = { pos : Ast.pos option; msg : string; code : string option }
 
-let make ?pos msg = { pos; msg }
-let makef ?pos fmt = Format.kasprintf (fun msg -> make ?pos msg) fmt
+let make ?pos ?code msg = { pos; msg; code }
+let makef ?pos ?code fmt = Format.kasprintf (fun msg -> make ?pos ?code msg) fmt
 
 let to_string e =
   match e.pos with
@@ -23,10 +23,27 @@ let to_string_with_source ~source e =
 
 exception Exl_error of t
 
-let fail ?pos msg = raise (Exl_error (make ?pos msg))
-let failf ?pos fmt = Format.kasprintf (fun msg -> fail ?pos msg) fmt
+let fail ?pos ?code msg = raise (Exl_error (make ?pos ?code msg))
+let failf ?pos ?code fmt = Format.kasprintf (fun msg -> fail ?pos ?code msg) fmt
 
 let protect f =
   try Ok (f ()) with
   | Exl_error e -> Error e
   | Invalid_argument msg -> Error (make msg)
+
+let compare_pos a b =
+  match (a.pos, b.pos) with
+  | None, None -> 0
+  | None, Some _ -> 1
+  | Some _, None -> -1
+  | Some p, Some q ->
+      let c = compare p.Ast.line q.Ast.line in
+      if c <> 0 then c else compare p.Ast.col q.Ast.col
+
+let sort errs = List.stable_sort compare_pos errs
+
+let first = function
+  | [] -> make "unknown error"
+  | e :: _ -> e
+
+let list_to_string errs = String.concat "\n" (List.map to_string errs)

@@ -184,4 +184,5 @@ let cse normalized =
           end)
     normalized
 
-let checked (c : Typecheck.checked) = Typecheck.check (cse (program c.program))
+let checked (c : Typecheck.checked) =
+  Result.map_error Errors.first (Typecheck.check (cse (program c.program)))

@@ -1,4 +1,9 @@
-let load source = Result.bind (Parser.parse source) Typecheck.check
+let load_all source =
+  match Parser.parse source with
+  | Error e -> Error [ e ]
+  | Ok ast -> Typecheck.check ast
+
+let load source = Result.map_error Errors.first (load_all source)
 let load_normalized source = Result.bind (load source) Normalize.checked
 
 let run_source source registry =

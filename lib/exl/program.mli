@@ -3,7 +3,12 @@ open Matrix
 (** One-stop front end: parse, check, normalize, interpret. *)
 
 val load : string -> (Typecheck.checked, Errors.t) result
-(** Parse and type-check EXL source. *)
+(** Parse and type-check EXL source; on failure, the first (by source
+    position) of the accumulated errors. *)
+
+val load_all : string -> (Typecheck.checked, Errors.t list) result
+(** Like [load] but reports {e every} parse or type error found in one
+    run, ordered by source position (the lint driver's entry point). *)
 
 val load_normalized : string -> (Typecheck.checked, Errors.t) result
 (** [load] followed by one-operator-per-statement normalization. *)

@@ -55,20 +55,20 @@ let unify_dims pos a b =
   (* Vectorial operands: same dimension names (as sets) with unifiable
      domains; the result keeps the left operand's order. *)
   if List.length a <> List.length b then
-    Errors.failf ~pos "operands have different dimensions: %s vs %s"
+    Errors.failf ~pos ~code:"E008" "operands have different dimensions: %s vs %s"
       (ty_to_string (Cube_ty a)) (ty_to_string (Cube_ty b));
   List.map
     (fun (n, da) ->
       match List.assoc_opt n b with
       | None ->
-          Errors.failf ~pos
+          Errors.failf ~pos ~code:"E008"
             "operands have different dimensions: %s missing from %s" n
             (ty_to_string (Cube_ty b))
       | Some db -> (
           match Domain.union da db with
           | Some d -> (n, d)
           | None ->
-              Errors.failf ~pos
+              Errors.failf ~pos ~code:"E008"
                 "dimension %s has incompatible domains %s and %s" n
                 (Domain.to_string da) (Domain.to_string db)))
     a
@@ -92,7 +92,7 @@ let rec infer env expr =
   | Ast.Cube_ref name -> (
       match Env.schema env name with
       | Some s -> Cube_ty (dims_of_schema s)
-      | None -> Errors.failf "reference to undefined cube %s" name)
+      | None -> Errors.failf ~code:"E007" "reference to undefined cube %s" name)
   | Ast.Neg e -> infer env e
   | Ast.Binop (op, a, b) -> (
       let ta = infer env a and tb = infer env b in
@@ -115,7 +115,7 @@ and infer_call env (c : Ast.call) =
   | Ast.Scalar_op s -> infer_scalar env c s
   | Ast.Blackbox_op b -> infer_blackbox env c b
   | Ast.Unknown_op ->
-      Errors.failf ~pos
+      Errors.failf ~pos ~code:"E005"
         "unknown operator %s (known: shift, aggregations %s, scalar %s, black-box %s)"
         c.fn
         (String.concat "/" (List.map Stats.Aggregate.to_string Stats.Aggregate.all))
@@ -215,7 +215,7 @@ and infer_agg env c =
                   match List.assoc_opt item.src dims with
                   | Some d -> d
                   | None ->
-                      Errors.failf ~pos
+                      Errors.failf ~pos ~code:"E004"
                         "group by: no dimension %s in the operand of %s"
                         item.src c.fn
                 in
@@ -243,7 +243,8 @@ and infer_agg env c =
           List.iter
             (fun (n, _) ->
               if Hashtbl.mem seen n then
-                Errors.failf ~pos "group by produces duplicate dimension %s" n;
+                Errors.failf ~pos ~code:"E003"
+                  "group by produces duplicate dimension %s" n;
               Hashtbl.add seen n ())
             result_dims;
           Cube_ty result_dims)
@@ -266,7 +267,8 @@ and infer_scalar env c (s : Ops.Scalar_fn.t) =
       in
       let n = List.length params in
       if n < s.Ops.Scalar_fn.min_params || n > s.Ops.Scalar_fn.max_params then
-        Errors.failf ~pos "%s expects %d..%d scalar parameters, got %d" c.fn
+        Errors.failf ~pos ~code:"E006"
+          "%s expects %d..%d scalar parameters, got %d" c.fn
           s.Ops.Scalar_fn.min_params s.Ops.Scalar_fn.max_params n;
       match infer env operand with
       | Scalar_ty -> Scalar_ty
@@ -281,10 +283,12 @@ and infer_blackbox env c (b : Ops.Blackbox.t) =
   | Ok (params, operand) -> (
       let n = List.length params in
       if n < b.Ops.Blackbox.min_params || n > b.Ops.Blackbox.max_params then
-        Errors.failf ~pos "%s expects %d..%d scalar parameters, got %d" c.fn
+        Errors.failf ~pos ~code:"E006"
+          "%s expects %d..%d scalar parameters, got %d" c.fn
           b.Ops.Blackbox.min_params b.Ops.Blackbox.max_params n;
       match operand with
-      | None -> Errors.failf ~pos "%s is missing its cube operand" c.fn
+      | None ->
+          Errors.failf ~pos ~code:"E006" "%s is missing its cube operand" c.fn
       | Some e -> (
           match infer env e with
           | Scalar_ty -> Errors.failf ~pos "%s operand must be a cube" c.fn
@@ -301,7 +305,16 @@ let resolve_domain pos keyword =
 
 let check_decl env (d : Ast.decl) =
   if Env.mem env d.d_name then
-    Errors.failf ~pos:d.d_pos "cube %s is declared or defined twice" d.d_name;
+    Errors.failf ~pos:d.d_pos ~code:"E009"
+      "cube %s is declared or defined twice" d.d_name;
+  let seen_dims = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen_dims n then
+        Errors.failf ~pos:d.d_pos ~code:"E003"
+          "cube %s declares dimension %s twice" d.d_name n;
+      Hashtbl.add seen_dims n ())
+    d.d_dims;
   let dims =
     List.map (fun (n, dom) -> (n, resolve_domain d.d_pos dom)) d.d_dims
   in
@@ -320,7 +333,7 @@ let check_decl env (d : Ast.decl) =
 
 let check_stmt env (s : Ast.stmt) =
   if Env.mem env s.lhs then
-    Errors.failf ~pos:s.s_pos
+    Errors.failf ~pos:s.s_pos ~code:"E009"
       "cube %s already has a definition (derived cubes must have exactly one)"
       s.lhs;
   let ty =
@@ -330,15 +343,37 @@ let check_stmt env (s : Ast.stmt) =
   in
   Env.add env Registry.Derived (schema_of_ty ~name:s.lhs ty)
 
+(* Accumulating check: every item is visited and every error recorded,
+   so one run reports the whole program's problems, ordered by source
+   position.  A failed declaration or statement poisons its cube name;
+   later statements that reference a poisoned cube are skipped silently
+   instead of producing an "undefined cube" cascade. *)
 let check program =
-  Errors.protect (fun () ->
-      let env = Env.empty () in
-      List.iter
-        (function
-          | Ast.Decl d -> check_decl env d
-          | Ast.Stmt s -> check_stmt env s)
-        program;
-      { program; env; statements = Ast.stmts program })
+  let env = Env.empty () in
+  let errs = ref [] in
+  let poisoned = Hashtbl.create 8 in
+  let record e = errs := e :: !errs in
+  List.iter
+    (function
+      | Ast.Decl d -> (
+          match Errors.protect (fun () -> check_decl env d) with
+          | Ok () -> ()
+          | Error e ->
+              Hashtbl.replace poisoned d.Ast.d_name ();
+              record e)
+      | Ast.Stmt s ->
+          if List.exists (Hashtbl.mem poisoned) (Ast.cube_refs s.Ast.rhs) then
+            Hashtbl.replace poisoned s.Ast.lhs ()
+          else (
+            match Errors.protect (fun () -> check_stmt env s) with
+            | Ok () -> ()
+            | Error e ->
+                Hashtbl.replace poisoned s.Ast.lhs ();
+                record e))
+    program;
+  match !errs with
+  | [] -> Ok { program; env; statements = Ast.stmts program }
+  | errs -> Error (Errors.sort (List.rev errs))
 
 let schemas_of_kind checked kind =
   List.filter_map

@@ -39,7 +39,10 @@ type checked = {
   statements : Ast.stmt list;  (** in program order *)
 }
 
-val check : Ast.program -> (checked, Errors.t) result
+val check : Ast.program -> (checked, Errors.t list) result
+(** Accumulating: reports {e every} type error in one run, ordered by
+    source position.  A failed statement poisons its cube name so that
+    downstream references do not produce "undefined cube" cascades. *)
 
 val infer_expr : Env.t -> Ast.expr -> (ty, Errors.t) result
 (** Type of one expression under an environment (exposed for tests and

@@ -41,7 +41,7 @@ let () =
   register ~name:"ma" ~min_params:1 ~max_params:1 (fun ~params ~period:_ a ->
       match params with
       | [ w ] -> Stats.Moving.trailing_average ~window:(int_of_float w) a
-      | _ -> assert false);
+      | _ -> invalid_arg "ma: expected exactly one window parameter");
   register ~name:"cumsum" (fun ~params:_ ~period:_ a -> Stats.Moving.cumsum a);
   register ~name:"diff" ~max_params:1 (fun ~params ~period:_ a ->
       let lag = match params with [ l ] -> int_of_float l | _ -> 1 in
@@ -52,7 +52,7 @@ let () =
   register ~name:"ewma" ~min_params:1 ~max_params:1 (fun ~params ~period:_ a ->
       match params with
       | [ alpha ] -> Stats.Moving.ewma ~alpha a
-      | _ -> assert false);
+      | _ -> invalid_arg "ewma: expected exactly one smoothing parameter");
   register ~name:"lintrend" (fun ~params:_ ~period:_ a ->
       Stats.Regression.fitted_line a);
   register ~name:"acf" ~min_params:1 ~max_params:1 (fun ~params ~period:_ a ->
@@ -63,7 +63,7 @@ let () =
       | [ lag ] ->
           let r = Stats.Descriptive.autocorrelation ~lag:(int_of_float lag) a in
           Array.map (fun _ -> r) a
-      | _ -> assert false);
+      | _ -> invalid_arg "acf: expected exactly one lag parameter");
   register ~name:"zscore" (fun ~params:_ ~period:_ a ->
       if Array.length a = 0 then a
       else

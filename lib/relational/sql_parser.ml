@@ -231,7 +231,8 @@ and parse_primary st =
           match Calendar.Date.of_string s with
           | Some d -> Sql_ast.Lit (Value.Date d)
           | None -> fail "bad DATE literal '%s'" s)
-      | _ -> assert false)
+      | t -> fail "DATE must be followed by a string literal, found %s"
+               (token_name t))
   | IDENT name
     when String.uppercase_ascii name = "PERIOD"
          && match peek2 st with STRING _ -> true | _ -> false -> (
@@ -242,7 +243,8 @@ and parse_primary st =
           match Calendar.Period.of_string s with
           | Some p -> Sql_ast.Lit (Value.Period p)
           | None -> fail "bad PERIOD literal '%s'" s)
-      | _ -> assert false)
+      | t -> fail "PERIOD must be followed by a string literal, found %s"
+               (token_name t))
   | IDENT name -> (
       advance st;
       match peek st with

@@ -1,6 +1,21 @@
+(* Every mapping any test chases must also be statically certified:
+   safe tgds and a verified weak-acyclicity certificate. *)
+let () =
+  Exchange.Chase.static_check :=
+    fun m ->
+      match Analysis.Map_lints.safety m with
+      | d :: _ -> Error (Analysis.Diagnostic.to_string d)
+      | [] -> (
+          match Analysis.Acyclicity.check m with
+          | Error { Analysis.Acyclicity.cycle } ->
+              Error
+                ("not weakly acyclic: " ^ Analysis.Acyclicity.cycle_to_string m cycle)
+          | Ok cert -> Analysis.Acyclicity.verify cert)
+
 let () =
   Alcotest.run "exlengine"
     [
+      ("analysis", Test_analysis.suite);
       ("matrix", Test_matrix.suite);
       ("stats", Test_stats.suite);
       ("ops", Test_ops.suite);

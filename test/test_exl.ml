@@ -451,6 +451,27 @@ let test_warnings_unused_elementary () =
         (Astring_contains.contains w "UNUSED")
   | ws -> Alcotest.failf "expected one warning, got %d" (List.length ws)
 
+let test_load_all_accumulates_errors () =
+  (* every independent error in one run, ordered by source position;
+     statements depending on a failed one are suppressed, not re-reported *)
+  match
+    Exl.Program.load_all
+      "cube A(x: int, x: int);\ncube B(y: int);\nC := B + NOPE;\nD := C * 2;\nE := frobnicate(B);\n"
+  with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error errs ->
+      Alcotest.(check int) "three independent errors" 3 (List.length errs);
+      let lines =
+        List.map
+          (fun (e : Exl.Errors.t) ->
+            match e.Exl.Errors.pos with Some p -> p.Exl.Ast.line | None -> -1)
+          errs
+      in
+      Alcotest.(check (list int)) "in position order" [ 1; 3; 5 ] lines;
+      Alcotest.(check (list (option string))) "stable codes"
+        [ Some "E003"; Some "E007"; Some "E005" ]
+        (List.map (fun (e : Exl.Errors.t) -> e.Exl.Errors.code) errs)
+
 let suite =
   [
     ("lexer: basic", `Quick, test_lexer_basic);
@@ -498,4 +519,5 @@ let suite =
     ("weekly frequency end-to-end", `Quick, test_weekly_frequency_end_to_end);
     ("semester group by", `Quick, test_semester_group_by);
     ("warnings: unused elementary", `Quick, test_warnings_unused_elementary);
+    ("check: load_all accumulates errors", `Quick, test_load_all_accumulates_errors);
   ]
