@@ -25,6 +25,24 @@ let time_once f =
   let r = f () in
   (r, Sys.time () -. t0)
 
+let wall_time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Wall-clock average, for code that parks domains (CPU time would
+   undercount) or that we compare against parallel runs. *)
+let wall_avg f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.1 && !reps < 200 do
+    ignore (f ());
+    incr reps
+  done;
+  let reps = max 1 !reps in
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
 let ms seconds = seconds *. 1000.
 
 let compile_exn = Core.compile_exn
@@ -109,6 +127,89 @@ let x3 () =
 (* ------------------------------------------------------------------ *)
 (* X4 — the chase: correctness (Section 4.2) and scaling. *)
 
+(* One naive-vs-semi-naive measurement: same mapping, same source,
+   both evaluation modes of Exchange.Chase. *)
+type chase_side = {
+  seconds : float;
+  matches_examined : int;
+  tuples_generated : int;
+  rounds : int;
+}
+
+type chase_row = {
+  workload : string;
+  naive : chase_side;
+  semi_naive : chase_side;
+}
+
+let mapping_of source_program =
+  match Mappings.Generate.of_checked (compile_exn source_program) with
+  | Ok g -> g.Mappings.Generate.mapping
+  | Error e -> failwith (Exl.Errors.to_string e)
+
+let chase_side ~mode mapping source =
+  let run () =
+    match Exchange.Chase.run ~mode mapping source with
+    | Ok (_, stats) -> stats
+    | Error msg -> failwith msg
+  in
+  let stats = run () in
+  let seconds = wall_avg (fun () -> ignore (run () : Exchange.Chase.stats)) in
+  {
+    seconds;
+    matches_examined = stats.Exchange.Chase.matches_examined;
+    tuples_generated = stats.Exchange.Chase.tuples_generated;
+    rounds = stats.Exchange.Chase.rounds;
+  }
+
+let chase_row ~workload ~program ~data () =
+  let mapping = mapping_of program in
+  let source = Exchange.Instance.of_registry data in
+  {
+    workload;
+    naive = chase_side ~mode:Exchange.Chase.Naive mapping source;
+    semi_naive = chase_side ~mode:Exchange.Chase.Semi_naive mapping source;
+  }
+
+(* The chase workloads reported in BENCH_PR2.json: the x4 micro
+   workload (overview at 2 regions x 2 years), a >= 10x scale-up of
+   it, the single-join tgd at 16k rows, and a 16-step scalar chain
+   (deep dependency graph, the worst case for the order-blind naive
+   fixpoint). *)
+let chase_rows () =
+  [
+    chase_row ~workload:"overview 2rx2y (x4 micro)"
+      ~program:Workload.overview_program
+      ~data:(Workload.overview_registry ~regions:2 ~years:2 ())
+      ();
+    chase_row ~workload:"overview 8rx5y (10x scale)"
+      ~program:Workload.overview_program
+      ~data:(Workload.overview_registry ~regions:8 ~years:5 ())
+      ();
+    chase_row ~workload:"join 16k rows" ~program:Workload.join_program
+      ~data:(Workload.join_registry ~rows:16_000 ())
+      ();
+    chase_row ~workload:"chain length 16"
+      ~program:(Workload.chain_program ~length:16)
+      ~data:(Workload.chain_registry ~rows:2_000 ())
+      ();
+  ]
+
+let print_chase_rows rows =
+  Printf.printf "%-28s %10s %10s %14s %14s %8s %8s %7s\n" "workload"
+    "naive ms" "semi ms" "naive matches" "semi matches" "ratio" "speedup"
+    "rounds";
+  List.iter
+    (fun row ->
+      Printf.printf "%-28s %10.1f %10.1f %14d %14d %7.1fx %7.2fx %3d/%d\n%!"
+        row.workload (ms row.naive.seconds) (ms row.semi_naive.seconds)
+        row.naive.matches_examined row.semi_naive.matches_examined
+        (float_of_int row.naive.matches_examined
+        /. float_of_int (max 1 row.semi_naive.matches_examined))
+        (row.naive.seconds /. row.semi_naive.seconds)
+        row.naive.rounds row.semi_naive.rounds)
+    rows
+
 let x4 () =
   header "X4  Chase scaling on the join tgd [per instance size]";
   let program = compile_exn Workload.join_program in
@@ -138,9 +239,12 @@ let x4 () =
     [ 1_000; 4_000; 16_000; 64_000 ];
   (* the equivalence theorem, at scale *)
   let data = Workload.join_registry ~rows:16_000 () in
-  match Exchange.Verify.equivalent program data with
+  (match Exchange.Verify.equivalent program data with
   | Ok _ -> print_endline "chase solution == program output (16k rows)."
-  | Error msg -> Printf.printf "VERIFICATION FAILED:\n%s\n" msg
+  | Error msg -> Printf.printf "VERIFICATION FAILED:\n%s\n" msg);
+  Printf.printf
+    "\n  naive vs semi-naive evaluation [wall-clock; matches examined]\n\n";
+  print_chase_rows (chase_rows ())
 
 (* ------------------------------------------------------------------ *)
 (* X5 — the determination engine: incremental vs full recomputation. *)
@@ -299,16 +403,12 @@ let x7 () =
 (* X8 — parallel dispatch: independent per-target subgraphs on separate
    domains ("applying parallelization and optimization patterns"). *)
 
-let wall_time_once f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 let x8 () =
   header "X8  Parallel dispatch of independent subgraphs [wall-clock ms]";
   let setup ~parallel =
     let config =
       {
+        Engine.Exlengine.default_config with
         Engine.Exlengine.parallel_dispatch = parallel;
         Engine.Exlengine.record_history = false;
         Engine.Exlengine.targets =

@@ -55,35 +55,108 @@ let micro_tests () =
         (Staged.stage (run Core.Vector_engine stl_program stl_data));
     ]
 
-let run_micro () =
-  print_endline "\n### Bechamel micro suite (ns/run, OLS estimate)\n";
+(* (name, ns/run OLS estimate, r^2) rows, sorted by name. *)
+let micro_results () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (micro_tests ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  Printf.printf "%-45s %15s %8s\n" "benchmark" "time/run" "r^2";
-  List.iter
-    (fun (name, result) ->
+  Hashtbl.fold
+    (fun name result acc ->
       let estimate =
         match Analyze.OLS.estimates result with
         | Some [ e ] -> e
         | _ -> Float.nan
       in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square result) in
+      (name, estimate, r2) :: acc)
+    results []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let run_micro () =
+  print_endline "\n### Bechamel micro suite (ns/run, OLS estimate)\n";
+  Printf.printf "%-45s %15s %8s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, estimate, r2) ->
       let human =
         if estimate > 1e9 then Printf.sprintf "%8.2f s" (estimate /. 1e9)
         else if estimate > 1e6 then Printf.sprintf "%8.2f ms" (estimate /. 1e6)
         else if estimate > 1e3 then Printf.sprintf "%8.2f us" (estimate /. 1e3)
         else Printf.sprintf "%8.0f ns" estimate
       in
-      Printf.printf "%-45s %15s %8.4f\n" name human
-        (Option.value ~default:Float.nan (Analyze.OLS.r_square result)))
-    rows
+      Printf.printf "%-45s %15s %8.4f\n" name human r2)
+    (micro_results ())
+
+(* --- machine-readable baseline (BENCH_PR2.json) --- *)
+
+(* Hand-rolled JSON: the toolchain has no JSON library and the schema
+   is tiny.  Floats are emitted as %.6g with nan/inf mapped to null. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_side (side : Experiments.chase_side) =
+  Printf.sprintf
+    "{\"seconds\": %s, \"matches_examined\": %d, \"tuples_generated\": %d, \
+     \"rounds\": %d}"
+    (json_float side.Experiments.seconds)
+    side.Experiments.matches_examined side.Experiments.tuples_generated
+    side.Experiments.rounds
+
+let run_json path =
+  let chase = Experiments.chase_rows () in
+  let micro = micro_results () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"pr\": 2,\n  \"chase\": [\n";
+  List.iteri
+    (fun i row ->
+      let naive = row.Experiments.naive
+      and semi = row.Experiments.semi_naive in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\",\n\
+           \     \"naive\": %s,\n\
+           \     \"semi_naive\": %s,\n\
+           \     \"matches_ratio\": %s,\n\
+           \     \"speedup\": %s}%s\n"
+           (json_escape row.Experiments.workload)
+           (json_side naive) (json_side semi)
+           (json_float
+              (float_of_int naive.Experiments.matches_examined
+              /. float_of_int (max 1 semi.Experiments.matches_examined)))
+           (json_float (naive.Experiments.seconds /. semi.Experiments.seconds))
+           (if i = List.length chase - 1 then "" else ",")))
+    chase;
+  Buffer.add_string buf "  ],\n  \"micro\": [\n";
+  List.iteri
+    (fun i (name, estimate, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+           (json_escape name) (json_float estimate) (json_float r2)
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Experiments.print_chase_rows chase
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -98,6 +171,8 @@ let () =
   | _ :: "x8" :: _ -> Experiments.x8 ()
   | _ :: "x9" :: _ -> Experiments.x9 ()
   | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "--json" :: rest ->
+      run_json (match rest with path :: _ -> path | [] -> "BENCH_PR2.json")
   | _ ->
       print_endline "EXLEngine benchmark harness (see EXPERIMENTS.md)";
       Experiments.all ();

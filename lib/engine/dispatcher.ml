@@ -54,11 +54,22 @@ type subgraph_report = {
   execute_seconds : float;
 }
 
+type wave_report = {
+  wave_subgraphs : (string * string list) list;
+      (** (target name, cubes) of each subgraph run in the wave *)
+  wave_seconds : float;  (** wall-clock for the whole wave *)
+}
+
 type report = {
   subgraphs : subgraph_report list;
+  waves : wave_report list;
   recomputed : string list;
   translation_cache_hits : int;
 }
+
+(* Wall clock, not [Sys.time]: CPU time over-counts when subgraphs run
+   on several domains and under-counts blocked waits. *)
+let now () = Unix.gettimeofday ()
 
 let merge_into store (result : Registry.t) cubes =
   List.iter
@@ -71,11 +82,14 @@ let merge_into store (result : Registry.t) cubes =
 (* Group the (ordered) per-target subgraphs into waves: a wave extends
    while the next group reads nothing produced inside the wave, so all
    groups of a wave can execute concurrently (the paper's
-   "parallelization patterns" in the dispatcher). *)
-let waves_of_groups ~sources_of groups =
+   "parallelization patterns" in the dispatcher).  Generic over the
+   group representation so prepared groups flow through directly — no
+   re-association by physical equality afterwards. *)
+let waves_of_groups ~sources_of ~cubes_of groups =
   let rec build acc wave wave_targets = function
     | [] -> List.rev (if wave = [] then acc else List.rev wave :: acc)
-    | ((_, cubes) as group) :: rest ->
+    | group :: rest ->
+        let cubes = cubes_of group in
         let sources = sources_of cubes in
         let independent =
           List.for_all (fun s -> not (List.mem s wave_targets)) sources
@@ -86,8 +100,8 @@ let waves_of_groups ~sources_of groups =
   in
   build [] [] [] groups
 
-let run ?(parallel = false) ~targets ~policy ~translation ~determination ~store
-    ~affected () =
+let run ?(parallel = false) ?pool ~targets ~policy ~translation ~determination
+    ~store ~affected () =
   (* 1. assignment *)
   let rec assign_all acc = function
     | [] -> Ok (List.rev acc)
@@ -112,14 +126,14 @@ let run ?(parallel = false) ~targets ~policy ~translation ~determination ~store
               | Some t -> t
               | None -> invalid_arg ("Dispatcher.run: unknown target " ^ target_name)
             in
-            let t0 = Sys.time () in
+            let t0 = now () in
             match Translation.translate translation determination ~target ~cubes with
             | Error msg ->
                 Error (Printf.sprintf "translating %s for %s: %s"
                          (String.concat ", " cubes) target_name msg)
             | Ok (artifact, mapping) ->
                 translate_all
-                  ((target, cubes, artifact, mapping, Sys.time () -. t0) :: acc)
+                  ((target, cubes, artifact, mapping, now () -. t0) :: acc)
                   rest)
       in
       Result.bind (translate_all [] groups) (fun prepared ->
@@ -130,48 +144,50 @@ let run ?(parallel = false) ~targets ~policy ~translation ~determination ~store
           in
           let waves =
             if parallel then
-              let name_waves =
-                waves_of_groups ~sources_of
-                  (List.map (fun (t, c, _, _, _) -> (t.Target.name, c)) prepared)
-              in
-              List.map
-                (fun wave ->
-                  List.map
-                    (fun (_, cubes) ->
-                      List.find (fun (_, c, _, _, _) -> c == cubes) prepared)
-                    wave)
-                name_waves
+              waves_of_groups ~sources_of
+                ~cubes_of:(fun (_, c, _, _, _) -> c)
+                prepared
             else List.map (fun entry -> [ entry ]) prepared
           in
           let execute_one (target, cubes, _, mapping, _) =
-            let t1 = Sys.time () in
+            let t1 = now () in
             match target.Target.execute mapping store with
             | Error msg ->
                 Error
                   (Printf.sprintf "executing %s on %s: %s"
                      (String.concat ", " cubes) target.Target.name msg)
-            | Ok result -> Ok (result, Sys.time () -. t1)
+            | Ok result -> Ok (result, now () -. t1)
           in
-          let rec run_waves acc = function
+          let rec run_waves acc wave_acc = function
             | [] ->
                 Ok
                   {
                     subgraphs = List.rev acc;
+                    waves = List.rev wave_acc;
                     recomputed = affected;
                     translation_cache_hits = Translation.cache_hits translation;
                   }
             | wave :: rest -> (
+                let t0 = now () in
                 let outcomes =
                   match wave with
                   | [ single ] -> [ (single, execute_one single) ]
                   | _ ->
-                      let domains =
-                        List.map
-                          (fun entry ->
-                            (entry, Stdlib.Domain.spawn (fun () -> execute_one entry)))
-                          wave
+                      let pool =
+                        match pool with Some p -> p | None -> Pool.shared ()
                       in
-                      List.map (fun (entry, d) -> (entry, Stdlib.Domain.join d)) domains
+                      List.combine wave
+                        (Pool.run_all pool
+                           (List.map (fun entry () -> execute_one entry) wave))
+                in
+                let wave_entry =
+                  {
+                    wave_subgraphs =
+                      List.map
+                        (fun (t, c, _, _, _) -> (t.Target.name, c))
+                        wave;
+                    wave_seconds = now () -. t0;
+                  }
                 in
                 let rec fold_outcomes acc = function
                   | [] -> Ok acc
@@ -192,6 +208,6 @@ let run ?(parallel = false) ~targets ~policy ~translation ~determination ~store
                 in
                 match fold_outcomes acc outcomes with
                 | Error _ as e -> e
-                | Ok acc -> run_waves acc rest)
+                | Ok acc -> run_waves acc (wave_entry :: wave_acc) rest)
           in
-          run_waves [] waves))
+          run_waves [] [] waves))

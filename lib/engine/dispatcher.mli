@@ -29,18 +29,28 @@ type subgraph_report = {
   target : string;
   cubes : string list;
   artifact : Target.artifact;
-  translate_seconds : float;
-  execute_seconds : float;
+  translate_seconds : float;  (** wall-clock *)
+  execute_seconds : float;  (** wall-clock *)
+}
+
+type wave_report = {
+  wave_subgraphs : (string * string list) list;
+      (** (target name, cubes) of each subgraph run in the wave *)
+  wave_seconds : float;  (** wall-clock for the whole wave *)
 }
 
 type report = {
   subgraphs : subgraph_report list;
+  waves : wave_report list;
+      (** One entry per executed wave, in execution order; without
+          [parallel] every wave holds a single subgraph. *)
   recomputed : string list;
   translation_cache_hits : int;
 }
 
 val run :
   ?parallel:bool ->
+  ?pool:Pool.t ->
   targets:Target.t list ->
   policy:assignment_policy ->
   translation:Translation.t ->
@@ -54,5 +64,5 @@ val run :
     subgraphs (possibly on other engines) can read them.  All
     translation happens up front (offline, cached); with [parallel],
     consecutive subgraphs that do not read each other's outputs execute
-    concurrently on separate domains (the paper's dispatcher
-    "parallelization patterns"). *)
+    concurrently on the domain pool (the paper's dispatcher
+    "parallelization patterns") — [pool] defaults to {!Pool.shared}. *)

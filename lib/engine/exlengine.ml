@@ -5,6 +5,9 @@ type config = {
   policy : Dispatcher.assignment_policy;
   record_history : bool;
   parallel_dispatch : bool;
+  pool_size : int option;
+      (* worker-domain count for parallel dispatch; None = the shared
+         pool sized from Domain.recommended_domain_count *)
 }
 
 let default_config =
@@ -13,6 +16,7 @@ let default_config =
     policy = Dispatcher.default_policy;
     record_history = true;
     parallel_dispatch = false;
+    pool_size = None;
   }
 
 type t = {
@@ -21,6 +25,7 @@ type t = {
   translation : Translation.t;
   store : Registry.t;
   history : Historicity.t;
+  pool : Pool.t option;
   mutable dirty : string list;
 }
 
@@ -31,6 +36,13 @@ let create ?(config = default_config) () =
     translation = Translation.create ();
     store = Registry.create ();
     history = Historicity.create ();
+    pool =
+      (if config.parallel_dispatch then
+         Some
+           (match config.pool_size with
+           | Some size -> Pool.create ~size ()
+           | None -> Pool.shared ())
+       else None);
     dirty = [];
   }
 
@@ -66,7 +78,7 @@ let default_as_of = Calendar.Date.make ~year:2026 ~month:1 ~day:1
 
 let run_affected ?(as_of = default_as_of) t affected =
   match
-    Dispatcher.run ~parallel:t.config.parallel_dispatch
+    Dispatcher.run ~parallel:t.config.parallel_dispatch ?pool:t.pool
       ~targets:t.config.targets ~policy:t.config.policy
       ~translation:t.translation ~determination:t.determination ~store:t.store
       ~affected ()

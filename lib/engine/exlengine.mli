@@ -10,7 +10,11 @@ type config = {
   record_history : bool;
       (** Store a dated version of every recomputed cube. *)
   parallel_dispatch : bool;
-      (** Run independent per-target subgraphs on separate domains. *)
+      (** Run independent per-target subgraphs on the domain pool. *)
+  pool_size : int option;
+      (** Worker-domain count for parallel dispatch; [None] uses the
+          process-wide {!Pool.shared} sized from
+          [Domain.recommended_domain_count]. *)
 }
 
 val default_config : config

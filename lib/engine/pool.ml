@@ -1,0 +1,129 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  task_done : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec await () =
+    if not (Queue.is_empty t.tasks) then Some (Queue.pop t.tasks)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work_available t.mutex;
+      await ()
+    end
+  in
+  match await () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let size = match size with Some n -> max 0 n | None -> default_size () in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      task_done = Condition.create ();
+      tasks = Queue.create ();
+      closed = false;
+      workers = [];
+      size;
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+(* The caller participates: after enqueueing it keeps popping and
+   executing queued tasks itself, so [run_all] makes progress even on a
+   zero-worker pool (and never deadlocks when every worker is busy with
+   somebody else's work). *)
+let run_all (type a) t (fs : (unit -> a) list) : a list =
+  match fs with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | fs ->
+      let n = List.length fs in
+      let results : a option array = Array.make n None in
+      let error = ref None in
+      let remaining = ref n in
+      let wrap i f () =
+        let outcome = try Ok (f ()) with e -> Error e in
+        Mutex.lock t.mutex;
+        (match outcome with
+        | Ok v -> results.(i) <- Some v
+        | Error e -> if !error = None then error := Some e);
+        decr remaining;
+        Condition.broadcast t.task_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      List.iteri (fun i f -> Queue.push (wrap i f) t.tasks) fs;
+      Condition.broadcast t.work_available;
+      let rec drain () =
+        if !remaining > 0 then begin
+          (if not (Queue.is_empty t.tasks) then begin
+             let task = Queue.pop t.tasks in
+             Mutex.unlock t.mutex;
+             task ();
+             Mutex.lock t.mutex
+           end
+           else Condition.wait t.task_done t.mutex);
+          drain ()
+        end
+      in
+      drain ();
+      Mutex.unlock t.mutex;
+      (match !error with Some e -> raise e | None -> ());
+      Array.to_list results
+      |> List.map (function
+           | Some v -> v
+           | None -> invalid_arg "Pool.run_all: task produced no result")
+
+let executor t tasks = ignore (run_all t tasks : unit list)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One lazily created process-wide pool, shared by the dispatcher and
+   the parallel chase so repeated waves reuse warm domains instead of
+   spawning fresh ones. *)
+let shared_lock = Mutex.create ()
+let shared_pool = ref None
+
+let shared () =
+  Mutex.lock shared_lock;
+  let t =
+    match !shared_pool with
+    | Some t -> t
+    | None ->
+        let t = create () in
+        shared_pool := Some t;
+        at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock shared_lock;
+  t

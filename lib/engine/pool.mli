@@ -1,0 +1,39 @@
+(** A reusable domain pool.
+
+    The dispatcher's wave parallelism and the chase's within-stratum
+    parallelism both need short bursts of independent work; spawning
+    and joining fresh domains per burst costs hundreds of microseconds
+    each.  A pool keeps [size] worker domains alive across bursts, and
+    the submitting domain helps drain the queue, so a burst never waits
+    on a fully occupied (or zero-sized) pool. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] defaults to [Domain.recommended_domain_count () - 1] (at
+    least 1): the submitter participates, so the default saturates the
+    recommended parallelism.  [size = 0] is legal — every task then
+    runs on the submitting domain. *)
+
+val size : t -> int
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Execute all thunks (on workers and the calling domain) and return
+    their results in order.  If any task raises, one of the exceptions
+    is re-raised after all tasks have finished.  Safe to call from
+    several domains at once. *)
+
+val executor : t -> (unit -> unit) list -> unit
+(** [run_all] specialised to unit tasks — matches the chase's
+    [?executor] parameter. *)
+
+val shutdown : t -> unit
+(** Signal workers to exit and join them; idempotent.  Tasks already
+    queued are still drained. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down. *)
+
+val shared : unit -> t
+(** The lazily created process-wide pool (default size), shut down at
+    exit. *)

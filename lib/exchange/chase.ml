@@ -7,23 +7,29 @@ type stats = {
   mutable tuples_generated : int;
   mutable tgds_applied : int;
   mutable egd_checks : int;
+  mutable rounds : int;
 }
 
 let empty_stats () =
-  { matches_examined = 0; tuples_generated = 0; tgds_applied = 0; egd_checks = 0 }
+  {
+    matches_examined = 0;
+    tuples_generated = 0;
+    tgds_applied = 0;
+    egd_checks = 0;
+    rounds = 0;
+  }
+
+(* Fold one (per-domain) stats record into another; [rounds] is global
+   bookkeeping of the driver loop, never task-local. *)
+let merge_stats ~into (s : stats) =
+  into.matches_examined <- into.matches_examined + s.matches_examined;
+  into.tuples_generated <- into.tuples_generated + s.tuples_generated;
+  into.tgds_applied <- into.tgds_applied + s.tgds_applied;
+  into.egd_checks <- into.egd_checks + s.egd_checks
+
+type mode = Naive | Semi_naive
 
 exception Chase_error of string
-
-(* A variable binding; small, so an association list with functional
-   extension keeps backtracking trivial. *)
-type binding = (string * Value.t) list
-
-let lookup (b : binding) v = List.assoc_opt v b
-
-let term_value b t = Term.eval (lookup b) t
-
-let term_fully_bound b t =
-  List.for_all (fun v -> lookup b v <> None) (Term.vars t)
 
 (* Try to extend [binding] so that [args] (terms) match [fact] (values),
    positionally.  Complex terms whose variables are not all bound yet
@@ -38,15 +44,15 @@ let match_fact binding deferred args fact =
           let value = fact.(i) in
           match term with
           | Term.Var v -> (
-              match lookup binding v with
+              match Binding.lookup binding v with
               | Some bound ->
                   if Value.equal bound value then
                     loop (i + 1) binding deferred rest
                   else None
-              | None -> loop (i + 1) ((v, value) :: binding) deferred rest)
+              | None -> loop (i + 1) (Binding.bind binding v value) deferred rest)
           | _ ->
-              if term_fully_bound binding term then
-                match term_value binding term with
+              if Binding.term_fully_bound binding term then
+                match Binding.term_value binding term with
                 | Some computed when Value.equal computed value ->
                     loop (i + 1) binding deferred rest
                 | _ -> None
@@ -59,22 +65,34 @@ let settle_deferred binding deferred =
   let rec loop acc = function
     | [] -> Some acc
     | (term, value) :: rest ->
-        if term_fully_bound binding term then
-          match term_value binding term with
+        if Binding.term_fully_bound binding term then
+          match Binding.term_value binding term with
           | Some computed when Value.equal computed value -> loop acc rest
           | _ -> None
         else loop ((term, value) :: acc) rest
   in
   loop [] deferred
 
-(* Enumerate all assignments satisfying the conjunction of atoms.
+let determined_positions bound_vars (atom : Tgd.atom) =
+  List.mapi (fun i term -> (i, term)) atom.Tgd.args
+  |> List.filter (fun (_, term) ->
+         List.for_all (fun v -> List.mem v bound_vars) (Term.vars term))
+  |> List.map fst
+
+let extend_bound_vars bound_vars (atom : Tgd.atom) =
+  List.fold_left
+    (fun acc term -> match term with Term.Var v -> v :: acc | _ -> acc)
+    bound_vars atom.Tgd.args
+
+(* Enumerate all assignments satisfying the conjunction of atoms, with
+   per-application throwaway caches — the naive baseline.
 
    This is a hash join: for each atom after the first, the argument
    positions whose terms are fully determined by the variables bound so
    far (statically known) are used as a lookup key into an index built
    once per (relation, positions) pair, so a two-atom tgd runs in time
    linear in the instance rather than quadratic. *)
-let match_atoms instance stats atoms (k : binding -> unit) =
+let match_atoms instance stats atoms (k : Binding.t -> unit) =
   let fact_cache : (string, Value.t array array) Hashtbl.t = Hashtbl.create 4 in
   let facts_of rel =
     match Hashtbl.find_opt fact_cache rel with
@@ -98,11 +116,8 @@ let match_atoms instance stats atoms (k : binding -> unit) =
         let all = facts_of rel in
         for i = Array.length all - 1 downto 0 do
           let fact = all.(i) in
-          let key =
-            Tuple.of_list (List.map (fun p -> fact.(p)) positions)
-          in
-          let prev = Option.value ~default:[] (Tuple.Table.find_opt idx key) in
-          Tuple.Table.replace idx key (fact :: prev)
+          let key = Tuple.of_list (List.map (fun p -> fact.(p)) positions) in
+          Tuple.Table.add_multi idx key fact
         done;
         Hashtbl.replace index_cache cache_key idx;
         idx
@@ -115,34 +130,22 @@ let match_atoms instance stats atoms (k : binding -> unit) =
                "tgd not executable: a complex term's variables never get bound");
         k binding
     | (atom : Tgd.atom) :: rest ->
-        let determined_positions =
-          List.mapi (fun i term -> (i, term)) atom.Tgd.args
-          |> List.filter (fun (_, term) ->
-                 List.for_all (fun v -> List.mem v bound_vars) (Term.vars term))
-          |> List.map fst
-        in
+        let determined = determined_positions bound_vars atom in
         let candidates =
-          if determined_positions = [] then Some (facts_of atom.Tgd.rel)
+          if determined = [] then Some (facts_of atom.Tgd.rel)
           else
             let expected =
               List.map
-                (fun p -> term_value binding (List.nth atom.Tgd.args p))
-                determined_positions
+                (fun p -> Binding.term_value binding (List.nth atom.Tgd.args p))
+                determined
             in
             if List.exists Option.is_none expected then None
             else
               let key = Tuple.of_list (List.map Option.get expected) in
-              let idx = index_of atom.Tgd.rel determined_positions in
-              Some
-                (Array.of_list
-                   (Option.value ~default:[] (Tuple.Table.find_opt idx key)))
+              let idx = index_of atom.Tgd.rel determined in
+              Some (Array.of_list (Tuple.Table.find_multi idx key))
         in
-        let bound_vars' =
-          List.fold_left
-            (fun acc term ->
-              match term with Term.Var v -> v :: acc | _ -> acc)
-            bound_vars atom.Tgd.args
-        in
+        let bound_vars' = extend_bound_vars bound_vars atom in
         (match candidates with
         | None -> ()
         | Some facts ->
@@ -157,28 +160,130 @@ let match_atoms instance stats atoms (k : binding -> unit) =
                     | Some deferred'' -> go bound_vars' binding' deferred'' rest))
               facts)
   in
-  go [] [] [] atoms
+  go [] Binding.empty [] atoms
 
-let emit_fact instance stats rel values =
-  if Instance.insert instance rel (Array.of_list values) then
-    stats.tuples_generated <- stats.tuples_generated + 1
+(* ----- semi-naive enumeration over the persistent indexes ----- *)
 
-let apply_tuple_level instance stats lhs (rhs : Tgd.atom) =
-  match_atoms instance stats lhs (fun binding ->
+(* What an atom may range over in a semi-naive round: the current
+   instance, the pre-round state (current minus this round's delta), or
+   exactly the delta.  With the pivot drawing from the delta, atoms
+   before it (in the original order) ranging over the full state and
+   atoms after it over the old state, every mixed combination of old
+   and delta facts is derived exactly once — the textbook semi-naive
+   decomposition. *)
+type atom_source =
+  | Full
+  | Old of unit Tuple.Table.t  (* membership of the facts to exclude *)
+  | Delta of Instance.fact list
+
+let match_plan instance stats (plan : (Tgd.atom * atom_source) list)
+    (k : Binding.t -> unit) =
+  let full_cache : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 4 in
+  let all_facts rel =
+    match Hashtbl.find_opt full_cache rel with
+    | Some l -> l
+    | None ->
+        let acc = ref [] in
+        Instance.iter_facts instance rel (fun f -> acc := f :: !acc);
+        Hashtbl.replace full_cache rel !acc;
+        !acc
+  in
+  let rec go bound_vars binding deferred = function
+    | [] ->
+        if deferred <> [] then
+          raise
+            (Chase_error
+               "tgd not executable: a complex term's variables never get bound");
+        k binding
+    | ((atom : Tgd.atom), source) :: rest ->
+        let candidates =
+          match source with
+          | Delta facts -> Some facts
+          | Full | Old _ -> (
+              let determined = determined_positions bound_vars atom in
+              if determined = [] then Some (all_facts atom.Tgd.rel)
+              else
+                let expected =
+                  List.map
+                    (fun p ->
+                      Binding.term_value binding (List.nth atom.Tgd.args p))
+                    determined
+                in
+                if List.exists Option.is_none expected then None
+                else
+                  Some
+                    (Instance.lookup_index instance atom.Tgd.rel determined
+                       (List.map Option.get expected)))
+        in
+        let candidates =
+          match (candidates, source) with
+          | Some facts, Old excluded ->
+              Some
+                (List.filter
+                   (fun f -> not (Tuple.Table.mem excluded (Tuple.of_array f)))
+                   facts)
+          | _ -> candidates
+        in
+        let bound_vars' = extend_bound_vars bound_vars atom in
+        (match candidates with
+        | None -> ()
+        | Some facts ->
+            List.iter
+              (fun fact ->
+                stats.matches_examined <- stats.matches_examined + 1;
+                match match_fact binding deferred atom.Tgd.args fact with
+                | None -> ()
+                | Some (binding', deferred') -> (
+                    match settle_deferred binding' deferred' with
+                    | None -> ()
+                    | Some deferred'' -> go bound_vars' binding' deferred'' rest))
+              facts)
+  in
+  go [] Binding.empty [] plan
+
+let indexed_matcher instance stats atoms k =
+  match_plan instance stats (List.map (fun a -> (a, Full)) atoms) k
+
+(* The (relation, positions) pairs a tuple-level lhs probes, computed
+   statically by replaying the binding order — so a stratum can build
+   all its persistent indexes before its tgds run in parallel. *)
+let index_needs lhs =
+  let rec loop bound_vars acc = function
+    | [] -> List.rev acc
+    | (atom : Tgd.atom) :: rest ->
+        let determined = determined_positions bound_vars atom in
+        let acc =
+          if determined = [] then acc else (atom.Tgd.rel, determined) :: acc
+        in
+        loop (extend_bound_vars bound_vars atom) acc rest
+  in
+  loop [] [] lhs
+
+(* ----- tgd application ----- *)
+
+let emit_fact instance stats on_new rel values =
+  let fact = Array.of_list values in
+  if Instance.insert instance rel fact then begin
+    stats.tuples_generated <- stats.tuples_generated + 1;
+    on_new rel fact
+  end
+
+let apply_tuple_level ~matcher ~out instance stats on_new lhs (rhs : Tgd.atom) =
+  matcher instance stats lhs (fun binding ->
       (* Any undefined term leaves a hole in the result cube, matching
          the partial-function semantics of EXL operators. *)
-      let values = List.map (term_value binding) rhs.Tgd.args in
+      let values = List.map (Binding.term_value binding) rhs.Tgd.args in
       if List.for_all Option.is_some values then
-        emit_fact instance stats rhs.Tgd.rel (List.map Option.get values))
+        emit_fact out stats on_new rhs.Tgd.rel (List.map Option.get values))
 
-let apply_aggregation instance stats (source : Tgd.atom) group_by aggr measure
-    target =
+let apply_aggregation ~out instance stats on_new (source : Tgd.atom) group_by
+    aggr measure target =
   let groups : float list ref Tuple.Table.t = Tuple.Table.create 64 in
   let order = ref [] in
   List.iter
     (fun fact ->
       stats.matches_examined <- stats.matches_examined + 1;
-      match match_fact [] [] source.Tgd.args fact with
+      match match_fact Binding.empty [] source.Tgd.args fact with
       | None -> ()
       | Some (binding, deferred) ->
           if deferred <> [] then
@@ -186,7 +291,7 @@ let apply_aggregation instance stats (source : Tgd.atom) group_by aggr measure
           let key_values =
             List.map
               (fun t ->
-                match term_value binding t with
+                match Binding.term_value binding t with
                 | Some v -> v
                 | None ->
                     raise
@@ -198,7 +303,9 @@ let apply_aggregation instance stats (source : Tgd.atom) group_by aggr measure
           in
           let key = Tuple.of_list key_values in
           let m =
-            match Option.bind (lookup binding measure) Value.to_float with
+            match
+              Option.bind (Binding.lookup binding measure) Value.to_float
+            with
             | Some f -> f
             | None ->
                 raise (Chase_error "aggregation measure is not numeric")
@@ -214,11 +321,11 @@ let apply_aggregation instance stats (source : Tgd.atom) group_by aggr measure
       let bag = List.rev !(Tuple.Table.find groups key) in
       let result = Stats.Aggregate.apply aggr bag in
       if not (Float.is_nan result) then
-        emit_fact instance stats target
+        emit_fact out stats on_new target
           (Tuple.to_list key @ [ Value.of_float result ]))
     (List.rev !order)
 
-let apply_table_fn instance stats fn params source target =
+let apply_table_fn ~out instance stats on_new fn params source target =
   let cube = Instance.cube_of_relation instance source in
   let op =
     match Ops.Blackbox.find fn with
@@ -231,13 +338,13 @@ let apply_table_fn instance stats fn params source target =
       Cube.iter
         (fun k v ->
           stats.matches_examined <- stats.matches_examined + 1;
-          emit_fact instance stats target (Array.to_list (Tuple.append k v)))
+          emit_fact out stats on_new target (Array.to_list (Tuple.append k v)))
         result
 
 (* The default-value vectorial variant: the union of both key sets,
    missing sides contributing the default measure. *)
-let apply_outer_combine instance stats (left : Tgd.atom) (right : Tgd.atom) op
-    default target =
+let apply_outer_combine ~out instance stats on_new (left : Tgd.atom)
+    (right : Tgd.atom) op default target =
   let dims_of fact =
     let n = Array.length fact - 1 in
     (Tuple.of_array (Array.sub fact 0 n), fact.(n))
@@ -258,7 +365,7 @@ let apply_outer_combine instance stats (left : Tgd.atom) (right : Tgd.atom) op
     let fr = Option.value ~default (Option.bind vr Value.to_float) in
     match Ops.Binop.eval op fl fr with
     | Some result ->
-        emit_fact instance stats target
+        emit_fact out stats on_new target
           (Tuple.to_list key @ [ Value.of_float result ])
     | None -> ()
   in
@@ -267,17 +374,26 @@ let apply_outer_combine instance stats (left : Tgd.atom) (right : Tgd.atom) op
     (fun key vr -> if not (Tuple.Table.mem l key) then emit key None (Some vr))
     r
 
-let apply_tgd instance tgd stats =
+(* [out] is where derived facts land; reads go to [instance].  They
+   coincide everywhere except the naive driver, whose Jacobi rounds
+   read a frozen snapshot while writing the live instance. *)
+let apply_body_full ~matcher ?out instance stats on_new tgd =
+  let out = Option.value ~default:instance out in
+  match tgd with
+  | Tgd.Tuple_level { lhs; rhs } ->
+      apply_tuple_level ~matcher ~out instance stats on_new lhs rhs
+  | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
+      apply_aggregation ~out instance stats on_new source group_by aggr measure
+        target
+  | Tgd.Table_fn { fn; params; source; target } ->
+      apply_table_fn ~out instance stats on_new fn params source target
+  | Tgd.Outer_combine { left; right; op; default; target } ->
+      apply_outer_combine ~out instance stats on_new left right op default
+        target
+
+let wrap_chase f =
   try
-    (match tgd with
-    | Tgd.Tuple_level { lhs; rhs } -> apply_tuple_level instance stats lhs rhs
-    | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
-        apply_aggregation instance stats source group_by aggr measure target
-    | Tgd.Table_fn { fn; params; source; target } ->
-        apply_table_fn instance stats fn params source target
-    | Tgd.Outer_combine { left; right; op; default; target } ->
-        apply_outer_combine instance stats left right op default target);
-    stats.tgds_applied <- stats.tgds_applied + 1;
+    f ();
     Ok ()
   with
   | Chase_error msg -> Error msg
@@ -285,6 +401,11 @@ let apply_tgd instance tgd stats =
       Error
         (Printf.sprintf "functionality violation in %s at %s" cube
            (Tuple.to_string key))
+
+let apply_tgd instance tgd stats =
+  wrap_chase (fun () ->
+      apply_body_full ~matcher:match_atoms instance stats (fun _ _ -> ()) tgd;
+      stats.tgds_applied <- stats.tgds_applied + 1)
 
 let check_egd instance (egd : Mappings.Egd.t) stats =
   match Instance.schema instance egd.Mappings.Egd.relation with
@@ -311,6 +432,302 @@ let check_egd instance (egd : Mappings.Egd.t) stats =
       in
       loop (Instance.facts instance egd.Mappings.Egd.relation)
 
+let check_target_egds ~check_egds (m : Mappings.Mapping.t) instance stats rels =
+  if not check_egds then Ok ()
+  else
+    let rec loop = function
+      | [] -> Ok ()
+      | rel :: rest -> (
+          match
+            List.find_opt
+              (fun (e : Mappings.Egd.t) -> e.Mappings.Egd.relation = rel)
+              m.Mappings.Mapping.egds
+          with
+          | None -> loop rest
+          | Some egd -> (
+              match check_egd instance egd stats with
+              | Ok () -> loop rest
+              | Error msg -> Error ("chase failed: " ^ msg)))
+    in
+    loop (List.sort_uniq String.compare rels)
+
+(* ----- the naive chase (benchmark baseline) ----- *)
+
+(* Textbook naive evaluation over the tgd *set*: every round clears and
+   fully re-derives each target from whatever its sources currently
+   hold, iterating until a round changes nothing.  Processing order is
+   canonical (target name), deliberately blind to the generator's
+   topological statement order — the baseline gets no ordering oracle,
+   so it converges only after ~depth rounds, re-joining all facts and
+   rebuilding its per-application hash indexes every time.  Correct for
+   non-monotone operators (aggregation, blackbox) precisely because
+   each application starts from a cleared target. *)
+let run_naive ~check_egds (m : Mappings.Mapping.t) target stats =
+  let tgds =
+    List.stable_sort
+      (fun a b -> String.compare (Tgd.target_relation a) (Tgd.target_relation b))
+      m.Mappings.Mapping.t_tgds
+  in
+  let rels =
+    List.sort_uniq String.compare (List.map Tgd.target_relation tgds)
+  in
+  (* Textbook (Jacobi) naive iteration: J_{k+1} = T(J_k).  Every round
+     clears the target relations and re-derives them against a frozen
+     snapshot of the previous round — no ordering oracle, no
+     within-round propagation — so a dependency chain of depth d takes
+     d + 2 rounds to converge and be detected.  Depth is bounded by the
+     tgd count, hence the round cap. *)
+  let max_rounds = List.length tgds + 2 in
+  let round () =
+    let snapshot = Instance.copy target in
+    List.iter (fun rel -> Instance.clear target rel) rels;
+    let rec pass = function
+      | [] -> Ok ()
+      | tgd :: rest -> (
+          match
+            wrap_chase (fun () ->
+                apply_body_full ~matcher:match_atoms ~out:target snapshot stats
+                  (fun _ _ -> ()) tgd;
+                stats.tgds_applied <- stats.tgds_applied + 1)
+          with
+          | Error msg ->
+              Error
+                (Printf.sprintf "chase failed on tgd [%s]: %s"
+                   (Tgd.to_string tgd) msg)
+          | Ok () -> pass rest)
+    in
+    match pass tgds with
+    | Error _ as e -> e
+    | Ok () ->
+        (* fixpoint test: same fact set as the snapshot, per relation *)
+        let changed = ref false in
+        List.iter
+          (fun rel ->
+            if not !changed then begin
+              let old : unit Tuple.Table.t = Tuple.Table.create 64 in
+              Instance.iter_facts snapshot rel (fun f ->
+                  Tuple.Table.replace old (Tuple.of_array f) ());
+              if Instance.cardinality target rel <> Tuple.Table.length old then
+                changed := true
+              else
+                Instance.iter_facts target rel (fun f ->
+                    if not (Tuple.Table.mem old (Tuple.of_array f)) then
+                      changed := true)
+            end)
+          rels;
+        Ok !changed
+  in
+  let rec rounds n =
+    if n > max_rounds then Error "naive chase did not reach a fixpoint"
+    else begin
+      stats.rounds <- stats.rounds + 1;
+      match round () with
+      | Error _ as e -> e
+      | Ok true -> rounds (n + 1)
+      | Ok false -> Ok ()
+    end
+  in
+  match rounds 1 with
+  | Error _ as e -> e
+  | Ok () -> check_target_egds ~check_egds m target stats rels
+
+(* ----- the semi-naive stratified chase ----- *)
+
+let apply_full_collect instance tgd =
+  let local = empty_stats () in
+  let added = ref [] in
+  let on_new rel fact = added := (rel, fact) :: !added in
+  let res =
+    wrap_chase (fun () ->
+        apply_body_full ~matcher:indexed_matcher instance local on_new tgd;
+        local.tgds_applied <- local.tgds_applied + 1)
+  in
+  (res, local, List.rev !added)
+
+(* One pivot pass per lhs atom with a non-empty delta: the pivot ranges
+   over the delta, earlier atoms over the full state, later atoms over
+   the old state; the pivot is enumerated first so its variables drive
+   the indexed lookups of the remaining atoms. *)
+let apply_tuple_level_delta instance stats on_new lhs (rhs : Tgd.atom)
+    ~delta_of ~delta_set =
+  List.iteri
+    (fun i (pivot_atom : Tgd.atom) ->
+      let d = delta_of pivot_atom.Tgd.rel in
+      if d <> [] then begin
+        let plan =
+          (pivot_atom, Delta d)
+          :: (List.mapi (fun j a -> (j, a)) lhs
+             |> List.filter (fun (j, _) -> j <> i)
+             |> List.map (fun (j, (a : Tgd.atom)) ->
+                    if j < i then (a, Full) else (a, Old (delta_set a.Tgd.rel))))
+        in
+        match_plan instance stats plan (fun binding ->
+            let values = List.map (Binding.term_value binding) rhs.Tgd.args in
+            if List.for_all Option.is_some values then
+              emit_fact instance stats on_new rhs.Tgd.rel
+                (List.map Option.get values))
+      end)
+    lhs
+
+let apply_tgd_delta instance tgd stats on_new ~delta_of ~delta_set =
+  let touched rels = List.exists (fun r -> delta_of r <> []) rels in
+  wrap_chase (fun () ->
+      match tgd with
+      | Tgd.Tuple_level { lhs; rhs } ->
+          if touched (List.map (fun (a : Tgd.atom) -> a.Tgd.rel) lhs) then begin
+            apply_tuple_level_delta instance stats on_new lhs rhs ~delta_of
+              ~delta_set;
+            stats.tgds_applied <- stats.tgds_applied + 1
+          end
+      | _ ->
+          (* aggregation / blackbox / outer tgds are not delta-
+             decomposable; re-evaluate from the full source when it
+             changed, relying on set semantics to dedupe re-derivations *)
+          if touched (Tgd.source_relations tgd) then begin
+            apply_body_full ~matcher:indexed_matcher instance stats on_new tgd;
+            stats.tgds_applied <- stats.tgds_applied + 1
+          end)
+
+let run_stratum ~executor instance stats stratum =
+  (* Pre-build every persistent index round one will probe, so the
+     parallel phase only ever reads the shared relations. *)
+  List.iter
+    (fun tgd ->
+      match tgd with
+      | Tgd.Tuple_level { lhs; _ } ->
+          List.iter
+            (fun (rel, positions) -> Instance.ensure_index instance rel positions)
+            (index_needs lhs)
+      | _ -> ())
+    stratum;
+  (* Round one: full evaluation, seeded by the whole instance.  Tgds of
+     a stratum have pairwise distinct targets and read only lower
+     strata, so they are independent; when that is certain they may run
+     on separate domains, each writing only its own target relation. *)
+  stats.rounds <- stats.rounds + 1;
+  let parallel_safe =
+    let targets = List.map Tgd.target_relation stratum in
+    List.length (List.sort_uniq String.compare targets) = List.length targets
+    && List.for_all
+         (fun tgd ->
+           List.for_all
+             (fun s -> not (List.mem s targets))
+             (Tgd.source_relations tgd))
+         stratum
+  in
+  let outcomes =
+    match stratum with
+    | [ tgd ] -> [ apply_full_collect instance tgd ]
+    | _ when not parallel_safe ->
+        List.map (apply_full_collect instance) stratum
+    | _ ->
+        let n = List.length stratum in
+        let results = Array.make n None in
+        let tasks =
+          List.mapi
+            (fun i tgd () -> results.(i) <- Some (apply_full_collect instance tgd))
+            stratum
+        in
+        executor tasks;
+        Array.to_list results
+        |> List.map (function
+             | Some r -> r
+             | None -> (Error "parallel chase task did not run", empty_stats (), []))
+  in
+  let deltas : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 8 in
+  let record tbl rel fact =
+    Hashtbl.replace tbl rel
+      (fact :: Option.value ~default:[] (Hashtbl.find_opt tbl rel))
+  in
+  let first_error = ref None in
+  List.iter2
+    (fun tgd (res, local, added) ->
+      merge_stats ~into:stats local;
+      List.iter (fun (rel, fact) -> record deltas rel fact) added;
+      match res with
+      | Error msg when !first_error = None ->
+          first_error :=
+            Some
+              (Printf.sprintf "chase failed on tgd [%s]: %s" (Tgd.to_string tgd)
+                 msg)
+      | _ -> ())
+    stratum outcomes;
+  match !first_error with
+  | Some msg -> Error msg
+  | None ->
+      (* Subsequent rounds: join only against the previous round's
+         delta.  For a stratified program the first delta round derives
+         nothing (a stratum's sources live strictly below it), so this
+         terminates immediately; for unstratifiable tgd sets it is a
+         genuine fixpoint loop. *)
+      let max_rounds = List.length stratum + 8 in
+      let rec loop deltas round =
+        if Hashtbl.length deltas = 0 then Ok ()
+        else if round > max_rounds then
+          Error "chase stratum did not reach a fixpoint"
+        else begin
+          stats.rounds <- stats.rounds + 1;
+          let next : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 8 in
+          let delta_of rel =
+            Option.value ~default:[] (Hashtbl.find_opt deltas rel)
+          in
+          let sets : (string, unit Tuple.Table.t) Hashtbl.t = Hashtbl.create 8 in
+          let delta_set rel =
+            match Hashtbl.find_opt sets rel with
+            | Some s -> s
+            | None ->
+                let s = Tuple.Table.create 16 in
+                List.iter
+                  (fun f -> Tuple.Table.replace s (Tuple.of_array f) ())
+                  (delta_of rel);
+                Hashtbl.replace sets rel s;
+                s
+          in
+          let rec apply_all = function
+            | [] -> Ok ()
+            | tgd :: rest -> (
+                match
+                  apply_tgd_delta instance tgd stats (record next) ~delta_of
+                    ~delta_set
+                with
+                | Error msg ->
+                    Error
+                      (Printf.sprintf "chase failed on tgd [%s]: %s"
+                         (Tgd.to_string tgd) msg)
+                | Ok () -> apply_all rest)
+          in
+          match apply_all stratum with
+          | Error _ as e -> e
+          | Ok () -> loop next (round + 1)
+        end
+      in
+      loop deltas 2
+
+let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
+  let strata =
+    match Mappings.Stratify.check m with
+    | Ok () -> Mappings.Stratify.strata m
+    | Error _ -> (
+        (* Unstratifiable (or mis-ordered) tgd sets run as one big
+           stratum: round one follows statement order, the delta rounds
+           then compute the actual fixpoint. *)
+        match m.Mappings.Mapping.t_tgds with [] -> [] | tgds -> [ tgds ])
+  in
+  let rec loop = function
+    | [] -> Ok ()
+    | stratum :: rest -> (
+        match run_stratum ~executor target stats stratum with
+        | Error _ as e -> e
+        | Ok () -> (
+            match
+              check_target_egds ~check_egds m target stats
+                (List.map Tgd.target_relation stratum)
+            with
+            | Error _ as e -> e
+            | Ok () -> loop rest))
+  in
+  loop strata
+
 (* Static pre-check hook.  The chase itself must not depend on the
    analysis library (dependency direction), so the check is injected:
    the test harness points this at the weak-acyclicity certificate so
@@ -318,48 +735,30 @@ let check_egd instance (egd : Mappings.Egd.t) stats =
 let static_check : (Mappings.Mapping.t -> (unit, string) result) ref =
   ref (fun _ -> Ok ())
 
-let run ?(check_egds = true) (m : Mappings.Mapping.t) source =
+let sequential_executor tasks = List.iter (fun task -> task ()) tasks
+
+let run ?(check_egds = true) ?(mode = Semi_naive)
+    ?(executor = sequential_executor) (m : Mappings.Mapping.t) source =
   match !static_check m with
   | Error msg -> Error ("static check failed before chase: " ^ msg)
   | Ok () ->
-  let stats = empty_stats () in
-  let target = Instance.create () in
-  List.iter (Instance.add_relation target) m.Mappings.Mapping.target;
-  (* Σst: copy the source relations into the target (the paper keeps the
-     same symbols for a relation and its copy; so do we). *)
-  List.iter
-    (fun schema ->
-      let name = schema.Schema.name in
-      match Instance.schema source name with
-      | None -> ()
-      | Some _ ->
-          List.iter
-            (fun fact -> ignore (Instance.insert target name fact))
-            (Instance.facts source name))
-    m.Mappings.Mapping.source;
-  let rec loop = function
-    | [] -> Ok (target, stats)
-    | tgd :: rest -> (
-        match apply_tgd target tgd stats with
-        | Error msg ->
-            Error
-              (Printf.sprintf "chase failed on tgd [%s]: %s" (Tgd.to_string tgd)
-                 msg)
-        | Ok () ->
-            let egd_result =
-              if check_egds then
-                let rel = Tgd.target_relation tgd in
-                match
-                  List.find_opt
-                    (fun (e : Mappings.Egd.t) -> e.Mappings.Egd.relation = rel)
-                    m.Mappings.Mapping.egds
-                with
-                | Some egd -> check_egd target egd stats
-                | None -> Ok ()
-              else Ok ()
-            in
-            (match egd_result with
-            | Error msg -> Error ("chase failed: " ^ msg)
-            | Ok () -> loop rest))
-  in
-  loop m.Mappings.Mapping.t_tgds
+      let stats = empty_stats () in
+      let target = Instance.create () in
+      List.iter (Instance.add_relation target) m.Mappings.Mapping.target;
+      (* Σst: copy the source relations into the target (the paper keeps
+         the same symbols for a relation and its copy; so do we). *)
+      List.iter
+        (fun schema ->
+          let name = schema.Schema.name in
+          match Instance.schema source name with
+          | None -> ()
+          | Some _ ->
+              Instance.iter_facts source name (fun fact ->
+                  ignore (Instance.insert target name (Array.copy fact))))
+        m.Mappings.Mapping.source;
+      let result =
+        match mode with
+        | Naive -> run_naive ~check_egds m target stats
+        | Semi_naive -> run_semi_naive ~check_egds ~executor m target stats
+      in
+      Result.map (fun () -> (target, stats)) result

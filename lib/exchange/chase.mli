@@ -17,9 +17,26 @@ type stats = {
 
   mutable tgds_applied : int;
   mutable egd_checks : int;  (** fact pairs compared for functionality *)
+  mutable rounds : int;  (** evaluation rounds executed by the driver *)
 }
 
 val empty_stats : unit -> stats
+
+val merge_stats : into:stats -> stats -> unit
+(** Fold per-task counters into an accumulator ([rounds] excluded — it
+    is driver bookkeeping, never task-local). *)
+
+type mode =
+  | Naive
+      (** Textbook naive evaluation, kept as the benchmark baseline:
+          every round clears and fully re-derives each target in
+          canonical (target-name) order — no ordering oracle, no
+          persistent indexes — until a round changes nothing. *)
+  | Semi_naive
+      (** Stratified semi-naive evaluation (the default): strata run in
+          level order; round one of a stratum evaluates against the
+          full instance through the persistent {!Instance} indexes,
+          later rounds join only the previous round's delta. *)
 
 val static_check : (Mappings.Mapping.t -> (unit, string) result) ref
 (** Pre-chase hook, run on the mapping at the top of {!run}; defaults
@@ -30,15 +47,25 @@ val static_check : (Mappings.Mapping.t -> (unit, string) result) ref
 
 val run :
   ?check_egds:bool ->
+  ?mode:mode ->
+  ?executor:((unit -> unit) list -> unit) ->
   Mappings.Mapping.t ->
   Instance.t ->
   (Instance.t * stats, string) result
 (** Solve the data exchange problem; [Error] on egd violation (chase
     failure) or on a tgd that cannot be evaluated (a variable occurring
-    only under uninvertible terms). *)
+    only under uninvertible terms).
+
+    [executor] runs the independent round-one applications of a
+    multi-tgd stratum (pairwise distinct targets reading only lower
+    strata); it defaults to sequential execution, and e.g. a domain
+    pool's [run_all] can be supplied to evaluate them in parallel.  All
+    persistent indexes a stratum needs are built before the executor is
+    invoked, so tasks only read shared relations and write their own
+    target. *)
 
 val apply_tgd : Instance.t -> Mappings.Tgd.t -> stats -> (unit, string) result
-(** Apply one tgd exhaustively against the instance (exposed for unit
-    tests). *)
+(** Apply one tgd exhaustively against the instance, with the naive
+    per-application caches (exposed for unit tests). *)
 
 val check_egd : Instance.t -> Mappings.Egd.t -> stats -> (unit, string) result

@@ -25,10 +25,11 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Delta_error m)) fmt
 
 (* ----- matching helpers (generated tgds only) ----- *)
 
-type binding = (string * Value.t) list
+(* The binding machinery is shared with the full chase. *)
+type binding = Binding.t
 
-let lookup (b : binding) v = List.assoc_opt v b
-let term_value b t = Term.eval (lookup b) t
+let lookup = Binding.lookup
+let term_value = Binding.term_value
 
 (* Bind an atom's argument terms against one fact; Const args compare,
    Var args bind (generated lhs atoms only contain Vars and Consts). *)
@@ -36,14 +37,14 @@ let bind_atom (atom : Tgd.atom) fact : binding option =
   let n = Array.length fact in
   if List.length atom.Tgd.args <> n then None
   else
-    let rec loop i binding = function
+    let rec loop i (binding : binding) = function
       | [] -> Some binding
       | Term.Var v :: rest -> (
           match lookup binding v with
           | Some bound ->
               if Value.equal bound fact.(i) then loop (i + 1) binding rest
               else None
-          | None -> loop (i + 1) ((v, fact.(i)) :: binding) rest)
+          | None -> loop (i + 1) (Binding.bind binding v fact.(i)) rest)
       | Term.Const c :: rest ->
           if Value.equal c fact.(i) then loop (i + 1) binding rest else None
       | _ ->
@@ -76,7 +77,7 @@ let matching_facts ~arity_of ~lookup_fact (atom : Tgd.atom) binding =
 let derive_with_pivot ~arity_of ~lookup_fact stats lhs (rhs : Tgd.atom) ~pivot
     ~pivot_facts =
   let out = ref [] in
-  let rec extend binding = function
+  let rec extend (binding : binding) = function
     | [] ->
         let values = List.map (term_value binding) rhs.Tgd.args in
         if List.for_all Option.is_some values then
@@ -94,20 +95,8 @@ let derive_with_pivot ~arity_of ~lookup_fact stats lhs (rhs : Tgd.atom) ~pivot
             stats.Chase.matches_examined <- stats.Chase.matches_examined + 1;
             match bind_atom atom fact with
             | None -> ()
-            | Some b ->
-                let merged =
-                  List.fold_left
-                    (fun acc (v, value) ->
-                      match acc with
-                      | None -> None
-                      | Some bnd -> (
-                          match lookup bnd v with
-                          | Some bound ->
-                              if Value.equal bound value then Some bnd else None
-                          | None -> Some ((v, value) :: bnd)))
-                    (Some binding) b
-                in
-                (match merged with
+            | Some b -> (
+                match Binding.merge binding b with
                 | Some bnd -> extend bnd rest
                 | None -> ()))
           candidates

@@ -8,6 +8,10 @@ type relation = {
   by_dims : Value.t array Tuple.Table.t;
       (* dimension prefix -> full fact; last writer wins, which under
          functionality (checked separately) is the only fact *)
+  indexes : (int list, fact list Tuple.Table.t) Hashtbl.t;
+      (* persistent secondary indexes: sorted position list -> (values
+         at those positions -> facts); created lazily by [ensure_index]
+         and maintained by every later insert/remove *)
 }
 
 type t = (string, relation) Hashtbl.t
@@ -18,7 +22,12 @@ let add_relation t schema =
   let name = schema.Schema.name in
   if not (Hashtbl.mem t name) then
     Hashtbl.replace t name
-      { schema; store = Tuple.Table.create 64; by_dims = Tuple.Table.create 64 }
+      {
+        schema;
+        store = Tuple.Table.create 64;
+        by_dims = Tuple.Table.create 64;
+        indexes = Hashtbl.create 4;
+      }
 
 let schema t name = Option.map (fun r -> r.schema) (Hashtbl.find_opt t name)
 
@@ -35,6 +44,9 @@ let relation_exn t name =
   | Some r -> r
   | None -> invalid_arg ("Instance: unknown relation " ^ name)
 
+let index_key positions (fact : fact) =
+  Tuple.of_list (List.map (fun p -> fact.(p)) positions)
+
 let insert t name fact =
   let r = relation_exn t name in
   if Array.length fact <> Schema.arity r.schema + 1 then
@@ -50,6 +62,9 @@ let insert t name fact =
       Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema))
     in
     Tuple.Table.replace r.by_dims dims fact;
+    Hashtbl.iter
+      (fun positions idx -> Tuple.Table.add_multi idx (index_key positions fact) fact)
+      r.indexes;
     true
   end
 
@@ -64,6 +79,11 @@ let remove t name fact =
     | Some current when current == fact || current = fact ->
         Tuple.Table.remove r.by_dims dims
     | _ -> ());
+    Hashtbl.iter
+      (fun positions idx ->
+        Tuple.Table.filter_multi idx (index_key positions fact) (fun f ->
+            not (Tuple.equal (Tuple.of_array f) key)))
+      r.indexes;
     true
   end
 
@@ -77,14 +97,56 @@ let copy t =
   let out = create () in
   Hashtbl.iter
     (fun name r ->
+      let indexes = Hashtbl.create (Hashtbl.length r.indexes) in
+      Hashtbl.iter
+        (fun positions idx -> Hashtbl.replace indexes positions (Tuple.Table.copy idx))
+        r.indexes;
       Hashtbl.replace out name
         {
           schema = r.schema;
           store = Tuple.Table.copy r.store;
           by_dims = Tuple.Table.copy r.by_dims;
+          indexes;
         })
     t;
   out
+
+(* The table key IS the stored fact array ([Tuple.of_array] is an
+   ownership transfer, not a copy), so iteration can expose it without
+   copying — callers must not mutate the arrays. *)
+let iter_facts t name f =
+  let r = relation_exn t name in
+  Tuple.Table.iter (fun k () -> f (k : Tuple.t :> Value.t array)) r.store
+
+let ensure_index t name positions =
+  let r = relation_exn t name in
+  if not (Hashtbl.mem r.indexes positions) then begin
+    let idx = Tuple.Table.create (max 64 (Tuple.Table.length r.store)) in
+    Tuple.Table.iter
+      (fun k () ->
+        let fact = (k : Tuple.t :> Value.t array) in
+        Tuple.Table.add_multi idx (index_key positions fact) fact)
+      r.store;
+    Hashtbl.replace r.indexes positions idx
+  end
+
+let lookup_index t name positions values =
+  ensure_index t name positions;
+  let r = relation_exn t name in
+  Tuple.Table.find_multi
+    (Hashtbl.find r.indexes positions)
+    (Tuple.of_list values)
+
+let indexed_positions t name =
+  let r = relation_exn t name in
+  Hashtbl.fold (fun positions _ acc -> positions :: acc) r.indexes []
+  |> List.sort compare
+
+let clear t name =
+  let r = relation_exn t name in
+  Tuple.Table.reset r.store;
+  Tuple.Table.reset r.by_dims;
+  Hashtbl.iter (fun _ idx -> Tuple.Table.reset idx) r.indexes
 
 let facts_unsorted t name =
   let r = relation_exn t name in

@@ -35,6 +35,29 @@ val find_by_dims : t -> string -> Value.t array -> fact option
     incrementally. *)
 
 val copy : t -> t
+(** Deep copy: stores, dimension indexes and secondary indexes. *)
+
+val ensure_index : t -> string -> int list -> unit
+(** Build the persistent secondary index of a relation on the given
+    (ascending) position list from the facts currently present.  A
+    no-op when the index already exists; after creation every
+    {!insert}/{!remove} maintains it incrementally. *)
+
+val lookup_index : t -> string -> int list -> Value.t list -> fact list
+(** Facts whose values at [positions] equal the given values, via the
+    persistent index (created on first use).  No ordering guarantee. *)
+
+val indexed_positions : t -> string -> int list list
+(** Position lists currently indexed on a relation (sorted; for tests
+    and diagnostics). *)
+
+val iter_facts : t -> string -> (fact -> unit) -> unit
+(** Zero-copy iteration over a relation's facts, in no particular
+    order; callers must not mutate the arrays. *)
+
+val clear : t -> string -> unit
+(** Remove every fact of a relation, keeping its schema and (emptied)
+    indexes. *)
 
 val facts : t -> string -> fact list
 (** Sorted lexicographically — deterministic iteration. *)

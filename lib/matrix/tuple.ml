@@ -43,6 +43,19 @@ module Key = struct
   let compare = compare
 end
 
-module Table = Hashtbl.Make (Key)
+module Table = struct
+  include Hashtbl.Make (Key)
+
+  let find_multi tbl key = Option.value ~default:[] (find_opt tbl key)
+  let add_multi tbl key v = replace tbl key (v :: find_multi tbl key)
+
+  let filter_multi tbl key keep =
+    match find_opt tbl key with
+    | None -> ()
+    | Some vs -> (
+        match List.filter keep vs with
+        | [] -> remove tbl key
+        | vs' -> replace tbl key vs')
+end
 module Map = Map.Make (Key)
 module Set = Set.Make (Key)

@@ -29,6 +29,18 @@ val append : t -> Value.t -> Value.t array
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
-module Table : Hashtbl.S with type key = t
+module Table : sig
+  include Hashtbl.S with type key = t
+
+  val find_multi : 'a list t -> key -> 'a list
+  (** The bucket bound to [key], or [[]]. *)
+
+  val add_multi : 'a list t -> key -> 'a -> unit
+  (** Cons onto the bucket bound to [key], creating it if absent. *)
+
+  val filter_multi : 'a list t -> key -> ('a -> bool) -> unit
+  (** Drop bucket entries failing the predicate; removes the binding
+      when the bucket empties. *)
+end
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t

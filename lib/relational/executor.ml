@@ -108,8 +108,40 @@ let rec eval_expr resolver row expr =
 (* ----- plan execution ----- *)
 
 (* Views (the Section 6 reformulation) are selects evaluated on demand:
-   scanning a view compiles and runs its select recursively. *)
-type view_env = (string, Sql_ast.select) Hashtbl.t
+   the first scan of a view compiles, runs and memoizes it; later scans
+   reuse the materialized rows.  INSERTs invalidate dependent caches
+   (see [invalidate_views]). *)
+type view_env = {
+  view_defs : (string, Sql_ast.select) Hashtbl.t;
+  view_rows : (string, Value.t array list) Hashtbl.t;
+}
+
+let fresh_views () = { view_defs = Hashtbl.create 8; view_rows = Hashtbl.create 8 }
+
+(* Base tables a select reads directly (view names included). *)
+let direct_tables_of_select (s : Sql_ast.select) =
+  match s.Sql_ast.from with
+  | Sql_ast.Tables tables -> List.map fst tables
+  | Sql_ast.From_table_fn { table; _ } -> [ table ]
+  | Sql_ast.Full_outer_join { left = lt, _; right = rt, _; _ } -> [ lt; rt ]
+
+(* Drop every memoized view that (transitively, through other view
+   definitions) reads [table]. *)
+let invalidate_views views table =
+  let rec depends seen name =
+    (not (List.mem name seen))
+    && (name = table
+       || (match Hashtbl.find_opt views.view_defs name with
+          | None -> false
+          | Some s ->
+              List.exists (depends (name :: seen)) (direct_tables_of_select s)))
+  in
+  let stale =
+    Hashtbl.fold
+      (fun name _ acc -> if depends [] name then name :: acc else acc)
+      views.view_rows []
+  in
+  List.iter (Hashtbl.remove views.view_rows) stale
 
 let rec execute db lookup (views : view_env) plan : Value.t array list =
   match plan with
@@ -118,8 +150,8 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
       match Database.find db table with
       | Some t -> Table.rows t
       | None -> (
-          match Hashtbl.find_opt views table with
-          | Some select -> execute db lookup views (plan_of_select_exn lookup select)
+          match Hashtbl.find_opt views.view_defs table with
+          | Some select -> rows_of_view db lookup views table select
           | None -> []))
   | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
       let build_rows = execute db lookup views build in
@@ -251,11 +283,9 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
         match Database.find db table with
         | Some t -> Table.to_cube schema t
         | None -> (
-            match Hashtbl.find_opt views table with
+            match Hashtbl.find_opt views.view_defs table with
             | Some select ->
-                let rows =
-                  execute db lookup views (plan_of_select_exn lookup select)
-                in
+                let rows = rows_of_view db lookup views table select in
                 let cube = Cube.create schema in
                 let n = Schema.arity schema in
                 List.iter
@@ -275,6 +305,14 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
       | Error msg -> fail "%s" msg
       | Ok result ->
           List.map (fun (k, v) -> Tuple.append k v) (Cube.to_alist result))
+
+and rows_of_view db lookup views name select =
+  match Hashtbl.find_opt views.view_rows name with
+  | Some rows -> rows
+  | None ->
+      let rows = execute db lookup views (plan_of_select_exn lookup select) in
+      Hashtbl.replace views.view_rows name rows;
+      rows
 
 (* ----- SELECT compilation ----- *)
 
@@ -365,7 +403,7 @@ and plan_of_select_exn _lookup (s : Sql_ast.select) =
 
 let wrap f = try Ok (f ()) with Exec_error msg -> Error msg
 
-let no_views : view_env = Hashtbl.create 0
+let no_views : view_env = fresh_views ()
 
 let plan_of_select lookup s = wrap (fun () -> plan_of_select_exn lookup s)
 
@@ -401,15 +439,19 @@ let run_script db lookup script =
   loop 0 script
 
 let run_statements db lookup statements =
-  let views : view_env = Hashtbl.create 8 in
+  let views = fresh_views () in
   let rec loop total = function
     | [] -> Ok total
     | Sql_ast.Create_view { name; select; _ } :: rest ->
-        Hashtbl.replace views name select;
+        Hashtbl.replace views.view_defs name select;
+        Hashtbl.remove views.view_rows name;
         loop total rest
     | Sql_ast.Insert insert :: rest -> (
         match wrap (fun () -> run_insert_with_views db lookup views insert) with
-        | Ok n -> loop (total + n) rest
+        | Ok n ->
+            (* The inserted-into table may feed later view scans. *)
+            invalidate_views views insert.Sql_ast.table;
+            loop (total + n) rest
         | Error msg ->
             Error
               (Printf.sprintf "in INSERT INTO %s: %s" insert.Sql_ast.table msg))

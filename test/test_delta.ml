@@ -225,6 +225,54 @@ let prop_incremental_equals_full =
               || QCheck.Test.fail_reportf "relation %s differs on\n%s" name src)
             mapping.M.Mapping.target)
 
+(* Secondary indexes built on the live solution must stay consistent
+   through the insert/remove traffic of an in-place incremental run. *)
+let test_indexes_survive_in_place_update () =
+  let reg = overview_registry () in
+  let mapping = mapping_of Helpers.overview_program in
+  let base = chase_ok mapping (X.Instance.of_registry reg) in
+  List.iter
+    (fun (schema : Schema.t) ->
+      if Array.length schema.Schema.dims > 0 then
+        X.Instance.ensure_index base schema.Schema.name [ 0 ])
+    mapping.M.Mapping.target;
+  let revised =
+    revise_measure reg "RGDPPC" (key [ vq 2021 2; vs "north" ]) 1.07
+  in
+  let source = X.Instance.of_registry revised in
+  (match X.Delta.run_incremental ~in_place:true mapping ~base ~source with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "incremental: %s" msg);
+  let full = chase_ok mapping source in
+  instances_agree mapping full base;
+  (* every index bucket agrees with a fresh scan of the relation *)
+  List.iter
+    (fun (schema : Schema.t) ->
+      let name = schema.Schema.name in
+      if Array.length schema.Schema.dims > 0 then begin
+        (* the run may add further indexes of its own; ours must survive *)
+        Alcotest.(check bool)
+          (name ^ " still indexed") true
+          (List.mem [ 0 ] (X.Instance.indexed_positions base name));
+        List.iter
+          (fun fact ->
+            let bucket = X.Instance.lookup_index base name [ 0 ] [ fact.(0) ] in
+            let scan =
+              List.filter
+                (fun f -> Value.equal f.(0) fact.(0))
+                (X.Instance.facts base name)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s bucket size" name)
+              (List.length scan) (List.length bucket);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s bucket member" name)
+              true
+              (List.exists (fun f -> Tuple.equal (Tuple.of_array f) (Tuple.of_array fact)) bucket))
+          (X.Instance.facts base name)
+      end)
+    mapping.M.Mapping.target
+
 let suite =
   [
     ("diff", `Quick, test_diff);
@@ -234,5 +282,6 @@ let suite =
     ("insertion and deletion", `Quick, test_insertion_and_deletion);
     ("blackbox slice recompute", `Quick, test_blackbox_slice_recompute);
     ("in place, both join sides changed", `Quick, test_in_place_both_sides_changed);
+    ("indexes survive in-place update", `Quick, test_indexes_survive_in_place_update);
     QCheck_alcotest.to_alcotest prop_incremental_equals_full;
   ]

@@ -335,6 +335,124 @@ let prop_engine_matches_interp =
               || QCheck.Test.fail_reportf "missing %s on\n%s" name src)
         (Registry.derived_names reference))
 
+(* --- the domain pool --- *)
+
+let test_pool_run_all_order () =
+  Engine.Pool.with_pool ~size:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Engine.Pool.size pool);
+      Alcotest.(check (list int)) "empty" [] (Engine.Pool.run_all pool []);
+      Alcotest.(check (list int)) "single" [ 42 ]
+        (Engine.Pool.run_all pool [ (fun () -> 42) ]);
+      (* results come back in submission order, not completion order *)
+      let thunks = List.init 20 (fun i () -> i * i) in
+      Alcotest.(check (list int)) "ordered"
+        (List.init 20 (fun i -> i * i))
+        (Engine.Pool.run_all pool thunks);
+      (* the pool is reusable across bursts *)
+      Alcotest.(check (list int)) "second burst" [ 1; 2; 3 ]
+        (Engine.Pool.run_all pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ]))
+
+let test_pool_zero_size () =
+  (* every task runs on the submitting domain; must not deadlock *)
+  Engine.Pool.with_pool ~size:0 (fun pool ->
+      Alcotest.(check (list int)) "inline" [ 10; 20 ]
+        (Engine.Pool.run_all pool [ (fun () -> 10); (fun () -> 20) ]))
+
+let test_pool_exception_propagates () =
+  Engine.Pool.with_pool ~size:2 (fun pool ->
+      Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+          ignore
+            (Engine.Pool.run_all pool
+               [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
+              : int list));
+      (* the failed burst must not poison the pool *)
+      Alcotest.(check (list int)) "still alive" [ 7 ]
+        (Engine.Pool.run_all pool [ (fun () -> 7) ]))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Engine.Pool.create ~size:2 () in
+  Alcotest.(check (list int)) "works" [ 1 ] (Engine.Pool.run_all pool [ (fun () -> 1) ]);
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool
+
+(* --- parallel chase strata --- *)
+
+let test_chase_parallel_stratum_matches_sequential () =
+  (* six independent tgds off the same source: one stratum, pairwise
+     distinct targets — eligible for the pool executor *)
+  let src =
+    "cube A(q: quarter, r: string);\n\
+     B1 := A + 1;\n\
+     B2 := 2 * A;\n\
+     B3 := abs(A);\n\
+     B4 := A - 3;\n\
+     B5 := A * 4;\n\
+     B6 := sum(A, group by q);\n"
+  in
+  let mapping =
+    (check_ok (Mappings.Generate.of_source src)).Mappings.Generate.mapping
+  in
+  let reg = Registry.create () in
+  Registry.add reg Registry.Elementary
+    (cube_of "A"
+       [ ("q", Domain.Period (Some Calendar.Quarter)); ("r", Domain.String) ]
+       (List.concat_map
+          (fun r ->
+            List.init 12 (fun i ->
+                [ vq (2020 + (i / 4)) ((i mod 4) + 1); vs r; vf (float_of_int (i + 1)) ]))
+          [ "x"; "y" ]));
+  let source = Exchange.Instance.of_registry reg in
+  let sequential =
+    match Exchange.Chase.run mapping source with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "sequential chase: %s" msg
+  in
+  Engine.Pool.with_pool ~size:3 (fun pool ->
+      match
+        Exchange.Chase.run ~executor:(Engine.Pool.executor pool) mapping source
+      with
+      | Error msg -> Alcotest.failf "parallel chase: %s" msg
+      | Ok (parallel_j, parallel_stats) ->
+          let sequential_j, sequential_stats = sequential in
+          List.iter
+            (fun name ->
+              Alcotest.check cube_eq ("cube " ^ name)
+                (Exchange.Instance.cube_of_relation sequential_j name)
+                (Exchange.Instance.cube_of_relation parallel_j name))
+            [ "B1"; "B2"; "B3"; "B4"; "B5"; "B6" ];
+          (* deterministic merge: identical work counters either way *)
+          Alcotest.(check int) "tuples"
+            sequential_stats.Exchange.Chase.tuples_generated
+            parallel_stats.Exchange.Chase.tuples_generated;
+          Alcotest.(check int) "matches"
+            sequential_stats.Exchange.Chase.matches_examined
+            parallel_stats.Exchange.Chase.matches_examined)
+
+(* --- dispatcher wave reports --- *)
+
+let test_dispatcher_wave_report () =
+  let engine, _ = make_engine () in
+  let report = ok (Engine.Exlengine.recompute engine) in
+  let waves = report.Engine.Dispatcher.waves in
+  Alcotest.(check bool) "at least one wave" true (List.length waves >= 1);
+  List.iter
+    (fun (w : Engine.Dispatcher.wave_report) ->
+      Alcotest.(check bool) "wave not empty" true
+        (w.Engine.Dispatcher.wave_subgraphs <> []);
+      Alcotest.(check bool) "wall clock sane" true
+        (w.Engine.Dispatcher.wave_seconds >= 0.))
+    waves;
+  (* every recomputed cube appears in exactly one wave subgraph *)
+  let all_cubes =
+    List.concat_map
+      (fun (w : Engine.Dispatcher.wave_report) ->
+        List.concat_map snd w.Engine.Dispatcher.wave_subgraphs)
+      waves
+  in
+  Alcotest.(check (list string)) "waves cover the recomputation"
+    (List.sort String.compare report.Engine.Dispatcher.recomputed)
+    (List.sort String.compare all_cubes)
+
 let suite =
   [
     ("determination: affected from PDR", `Quick, test_affected_from_pdr);
@@ -357,5 +475,11 @@ let suite =
     ("facade: history versions", `Quick, test_facade_history_versions);
     ("facade: store persistence", `Quick, test_facade_store_persistence);
     ("facade: rejects unknown elementary", `Quick, test_facade_rejects_unknown_elementary);
+    ("pool: run_all preserves order", `Quick, test_pool_run_all_order);
+    ("pool: zero-size runs inline", `Quick, test_pool_zero_size);
+    ("pool: exceptions propagate", `Quick, test_pool_exception_propagates);
+    ("pool: shutdown idempotent", `Quick, test_pool_shutdown_idempotent);
+    ("chase: parallel stratum == sequential", `Quick, test_chase_parallel_stratum_matches_sequential);
+    ("dispatcher: wave report", `Quick, test_dispatcher_wave_report);
     QCheck_alcotest.to_alcotest prop_engine_matches_interp;
   ]
