@@ -17,14 +17,20 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* The Core back ends run the whole program on one engine; [engine] is
+   the full EXLEngine facade — per-target dispatch with retry, fallback
+   and quarantine (see docs/RELIABILITY.md). *)
+type cli_backend = Core_backend of Core.backend | Engine_backend
+
 let backend_conv =
   Arg.enum
     [
-      ("reference", Core.Reference);
-      ("chase", Core.Chase);
-      ("sql", Core.Sql);
-      ("vector", Core.Vector_engine);
-      ("etl", Core.Etl_engine);
+      ("reference", Core_backend Core.Reference);
+      ("chase", Core_backend Core.Chase);
+      ("sql", Core_backend Core.Sql);
+      ("vector", Core_backend Core.Vector_engine);
+      ("etl", Core_backend Core.Etl_engine);
+      ("engine", Engine_backend);
     ]
 
 let load_data data_dir (program : Core.program) =
@@ -61,7 +67,70 @@ let write_results out_dir (program : Core.program) result =
         | None -> ())
     (Exl.Typecheck.derived_schemas program)
 
-let run file data_dir out_dir backend verify =
+(* The EXLEngine facade path: dispatch per-target subgraphs with retry,
+   fallback and quarantine.  A degraded run (quarantined or skipped
+   cubes) still writes every cube it computed, prints the failure
+   summary, and exits non-zero. *)
+let run_engine ~source ~program ~registry ~out_dir ~overrides ~fault_plan
+    ~max_attempts ~backoff ~timeout =
+  let faults =
+    match fault_plan with
+    | None -> Ok None
+    | Some path -> (
+        match Engine.Faults.of_string (read_file path) with
+        | Ok plan -> Ok (Some plan)
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  in
+  match faults with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | Ok faults -> (
+      let config =
+        {
+          Engine.Exlengine.default_config with
+          policy = { Engine.Dispatcher.default_policy with overrides };
+          retry =
+            {
+              Engine.Dispatcher.default_retry with
+              max_attempts;
+              base_backoff = backoff;
+              subgraph_timeout = timeout;
+            };
+          faults;
+        }
+      in
+      let engine = Engine.Exlengine.create ~config () in
+      let loaded =
+        match Engine.Exlengine.register_program engine ~name:"main" source with
+        | Error _ as e -> e
+        | Ok () ->
+            List.fold_left
+              (fun acc name ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    Engine.Exlengine.load_elementary engine
+                      (Registry.find_exn registry name))
+              (Ok ()) (Registry.names registry)
+      in
+      match loaded with
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          1
+      | Ok () -> (
+          match Engine.Exlengine.recompute engine with
+          | Error msg ->
+              prerr_endline ("error: " ^ msg);
+              1
+          | Ok report ->
+              write_results out_dir program (Engine.Exlengine.store engine);
+              let summary = Engine.Dispatcher.failure_summary report in
+              if summary <> "" then print_endline summary;
+              if Engine.Dispatcher.degraded report then 1 else 0))
+
+let run file data_dir out_dir backend verify overrides fault_plan max_attempts
+    backoff timeout =
   let source = read_file file in
   match Exl.Program.load source with
   | Error e ->
@@ -74,6 +143,11 @@ let run file data_dir out_dir backend verify =
           prerr_endline ("error: " ^ msg);
           1
       | Ok registry -> (
+          match backend with
+          | Engine_backend ->
+              run_engine ~source ~program ~registry ~out_dir ~overrides
+                ~fault_plan ~max_attempts ~backoff ~timeout
+          | Core_backend backend -> (
           let verified =
             if verify then Core.verify_all_backends program registry
             else Ok ()
@@ -91,7 +165,7 @@ let run file data_dir out_dir backend verify =
                   1
               | Ok result ->
                   write_results out_dir program result;
-                  0)))
+                  0))))
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
@@ -110,11 +184,49 @@ let out_arg =
 let backend_arg =
   Arg.(
     value
-    & opt backend_conv Core.Reference
+    & opt backend_conv (Core_backend Core.Reference)
     & info [ "b"; "backend" ] ~docv:"BACKEND"
         ~doc:
           "Execution back end: $(b,reference) (default), $(b,chase), $(b,sql), \
-           $(b,vector) or $(b,etl).")
+           $(b,vector), $(b,etl), or $(b,engine) for the full dispatcher with \
+           retry, target fallback and quarantine.")
+
+let override_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string string) []
+    & info [ "override" ] ~docv:"CUBE=TARGET"
+        ~doc:
+          "Pin a cube to a target system (repeatable; $(b,engine) back end \
+           only).")
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:
+          "Inject deterministic failures from a fault-plan file (see \
+           docs/RELIABILITY.md; $(b,engine) back end only).")
+
+let max_attempts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-attempts" ] ~docv:"N"
+        ~doc:"Attempts per dispatch step before falling back ($(b,engine)).")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "backoff" ] ~docv:"SECONDS"
+        ~doc:"Base retry backoff; 0 disables waiting ($(b,engine)).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget per subgraph execution ($(b,engine)).")
 
 let verify_arg =
   Arg.(
@@ -126,6 +238,9 @@ let cmd =
   let doc = "run EXL statistical programs against CSV data" in
   Cmd.v
     (Cmd.info "exlrun" ~version:"1.0" ~doc)
-    Term.(const run $ file_arg $ data_arg $ out_arg $ backend_arg $ verify_arg)
+    Term.(
+      const run $ file_arg $ data_arg $ out_arg $ backend_arg $ verify_arg
+      $ override_arg $ fault_plan_arg $ max_attempts_arg $ backoff_arg
+      $ timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -181,12 +181,18 @@ let build_program t ~cubes:selected =
     List.iter
       (fun c -> List.iter add_input (sources_of t c))
       selected;
+    (* An input without a registered schema is a metadata hole, not a
+       programming error: report it so the dispatcher can quarantine
+       the subgraph instead of crashing the wave. *)
+    let unknown = List.filter (fun c -> schema t c = None) !inputs in
+    if unknown <> [] then
+      Error
+        (Printf.sprintf "no registered schema for source cube(s) %s"
+           (String.concat ", " unknown))
+    else begin
     let decls =
       List.rev_map
-        (fun c ->
-          match schema t c with
-          | Some s -> Exl.Ast.Decl (decl_of_schema s)
-          | None -> invalid_arg ("Determination.build_program: unknown cube " ^ c))
+        (fun c -> Exl.Ast.Decl (decl_of_schema (Option.get (schema t c))))
         !inputs
     in
     (* Keep the global definition order among the selected statements. *)
@@ -201,6 +207,7 @@ let build_program t ~cubes:selected =
     match Exl.Typecheck.check (decls @ stmts) with
     | Ok checked -> Ok checked
     | Error es -> Error (Exl.Errors.list_to_string es)
+    end
   end
 
 let partition ~assign ordered =

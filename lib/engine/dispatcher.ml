@@ -46,12 +46,49 @@ let assign ~targets ~policy determination cube =
                    (String.concat ", " policy.priority)
                    cube)))
 
+(* --- retry policy --- *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff : float;
+  backoff_multiplier : float;
+  max_backoff : float;
+  jitter : float;
+  subgraph_timeout : float option;
+}
+
+let default_retry =
+  {
+    max_attempts = 3;
+    base_backoff = 0.01;
+    backoff_multiplier = 2.0;
+    max_backoff = 0.5;
+    jitter = 0.5;
+    subgraph_timeout = None;
+  }
+
+(* Exponential backoff with deterministic jitter: attempt [n] waits
+   min(base * multiplier^(n-1), max) scaled into [1 - jitter, 1] by the
+   seeded hash — reproducible for a given (seed, subgraph, attempt),
+   yet de-synchronized across subgraphs like randomized jitter. *)
+let backoff_duration ~retry ~seed ~key ~attempt =
+  if retry.base_backoff <= 0. then 0.
+  else
+    let exp =
+      retry.base_backoff
+      *. (retry.backoff_multiplier ** float_of_int (attempt - 1))
+    in
+    let capped = Float.min exp retry.max_backoff in
+    capped *. (1. -. (retry.jitter *. Faults.uniform ~seed ~key attempt))
+
 type subgraph_report = {
   target : string;
   cubes : string list;
   artifact : Target.artifact;
   translate_seconds : float;
   execute_seconds : float;
+  attempts : int;
+  translate_attempts : int;
 }
 
 type wave_report = {
@@ -65,7 +102,24 @@ type report = {
   waves : wave_report list;
   recomputed : string list;
   translation_cache_hits : int;
+  failures : Faults.failure_report list;
+  quarantined : string list;
+  skipped : string list;
 }
+
+let degraded r = r.quarantined <> [] || r.skipped <> []
+
+let failure_summary r =
+  if not (degraded r) && r.failures = [] then ""
+  else
+    String.concat "\n"
+      (("failure summary:"
+        :: List.map (fun f -> "  " ^ Faults.report_to_string f) r.failures)
+      @ (if r.quarantined = [] then []
+         else [ "quarantined: " ^ String.concat ", " r.quarantined ])
+      @
+      if r.skipped = [] then []
+      else [ "skipped (upstream quarantined): " ^ String.concat ", " r.skipped ])
 
 (* Wall clock, not [Sys.time]: CPU time over-counts when subgraphs run
    on several domains and under-counts blocked waits. *)
@@ -100,9 +154,186 @@ let waves_of_groups ~sources_of ~cubes_of groups =
   in
   build [] [] [] groups
 
-let run ?(parallel = false) ?pool ~targets ~policy ~translation ~determination
-    ~store ~affected () =
-  (* 1. assignment *)
+(* --- fault-tolerant subgraph execution --- *)
+
+type group_outcome =
+  | Computed of subgraph_report * Registry.t * Faults.failure_report list
+      (** result to merge, plus the (resolved) failures survived on the
+          way — each one a target that was abandoned for the next *)
+  | Abandoned of Faults.failure_report list
+      (** every capable target failed persistently: the subgraph's live
+          cubes are quarantined *)
+
+(* Fallback order: the assigned target first, then the remaining
+   priority targets (in priority order) that exist and support every
+   tgd of the (possibly narrowed) cube set. *)
+let candidate_targets ~targets ~policy ~assigned tgds =
+  assigned
+  :: List.filter
+       (fun name ->
+         name <> assigned
+         &&
+         match Target.find targets name with
+         | Some t -> supports_all t tgds
+         | None -> false)
+       policy.priority
+
+(* Stamp resolutions onto the per-target failure trail: each abandoned
+   target fell back to the next one tried; the last one either fell
+   back to the target that finally succeeded or caused quarantine. *)
+let stamp_resolutions ~success trail =
+  let rec stamp = function
+    | [] -> []
+    | [ (f : Faults.failure_report) ] ->
+        [
+          {
+            f with
+            Faults.f_resolution =
+              (match success with
+              | Some name -> Faults.Fell_back name
+              | None -> Faults.Quarantined);
+          };
+        ]
+    | f :: ((next : Faults.failure_report) :: _ as rest) ->
+        { f with Faults.f_resolution = Faults.Fell_back next.Faults.f_target }
+        :: stamp rest
+  in
+  stamp trail
+
+(* Run one subgraph to completion, quarantine, or bust: for each
+   candidate target, translate then execute, retrying each failed step
+   up to [retry.max_attempts] with jittered exponential backoff; on a
+   persistently failing target, fall back to the next capable one
+   (re-translating for the new engine).  Runs inside a pooled task, so
+   it must never raise. *)
+let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
+    ~store (assigned, cubes) =
+  let key = String.concat "," cubes in
+  let sleep d = if d > 0. then Unix.sleepf d in
+  let unresolved ~target ~stage ~kind ~attempts =
+    {
+      Faults.f_cubes = cubes;
+      f_target = target;
+      f_stage = stage;
+      f_kind = kind;
+      f_attempts = attempts;
+      f_resolution = Faults.Quarantined (* stamped later *);
+    }
+  in
+  match
+    Result.map
+      (fun (m : Mappings.Mapping.t) -> m.Mappings.Mapping.t_tgds)
+      (Translation.submapping determination ~cubes)
+  with
+  | Error msg ->
+      (* The subgraph's own mapping cannot be generated: no target can
+         help, quarantine immediately. *)
+      Abandoned
+        [
+          unresolved ~target:assigned ~stage:Faults.Translate
+            ~kind:(Faults.Translate_error msg) ~attempts:1;
+        ]
+  | Ok tgds ->
+      let exec_attempts = ref 0 in
+      let translate_attempts = ref 0 in
+      let attempt_target (t : Target.t) =
+        let backoff_key = t.Target.name ^ "/" ^ key in
+        let rec translate attempt =
+          incr translate_attempts;
+          match
+            Translation.translate ?faults translation determination ~target:t
+              ~cubes
+          with
+          | Ok pair -> Ok pair
+          | Error kind ->
+              if attempt >= retry.max_attempts then
+                Error (Faults.Translate, kind, attempt)
+              else begin
+                sleep (backoff_duration ~retry ~seed ~key:backoff_key ~attempt);
+                translate (attempt + 1)
+              end
+        in
+        let t0 = now () in
+        match translate 1 with
+        | Error _ as e -> e
+        | Ok (artifact, mapping) ->
+            let translate_seconds = now () -. t0 in
+            let rec execute attempt =
+              incr exec_attempts;
+              let t1 = now () in
+              let outcome =
+                Target.guarded_execute ?faults ~cubes t mapping store
+              in
+              let elapsed = now () -. t1 in
+              let outcome =
+                match (outcome, retry.subgraph_timeout) with
+                | Ok _, Some limit when elapsed > limit ->
+                    Error (Faults.Timeout elapsed)
+                | _ -> outcome
+              in
+              match outcome with
+              | Ok result ->
+                  Ok
+                    ( {
+                        target = t.Target.name;
+                        cubes;
+                        artifact;
+                        translate_seconds;
+                        execute_seconds = elapsed;
+                        attempts = 0 (* filled in below *);
+                        translate_attempts = 0;
+                      },
+                      result )
+              | Error kind ->
+                  if attempt >= retry.max_attempts then
+                    Error (Faults.Execute, kind, attempt)
+                  else begin
+                    sleep
+                      (backoff_duration ~retry ~seed ~key:backoff_key ~attempt);
+                    execute (attempt + 1)
+                  end
+            in
+            execute 1
+      in
+      let rec try_candidates trail = function
+        | [] -> Abandoned (stamp_resolutions ~success:None (List.rev trail))
+        | name :: rest -> (
+            match Target.find targets name with
+            | None ->
+                (* the assigned target vanished from the palette: a
+                   metadata failure, surfaced as a trail entry *)
+                try_candidates
+                  (unresolved ~target:name ~stage:Faults.Translate
+                     ~kind:
+                       (Faults.Translate_error
+                          (Printf.sprintf "unknown target %s" name))
+                     ~attempts:1
+                  :: trail)
+                  rest
+            | Some t -> (
+                match attempt_target t with
+                | Ok (sr, result) ->
+                    Computed
+                      ( {
+                          sr with
+                          attempts = !exec_attempts;
+                          translate_attempts = !translate_attempts;
+                        },
+                        result,
+                        stamp_resolutions ~success:(Some name)
+                          (List.rev trail) )
+                | Error (stage, kind, attempts) ->
+                    try_candidates
+                      (unresolved ~target:name ~stage ~kind ~attempts :: trail)
+                      rest))
+      in
+      try_candidates [] (candidate_targets ~targets ~policy ~assigned tgds)
+
+let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
+    ~policy ~translation ~determination ~store ~affected () =
+  let seed = match faults with Some p -> Faults.seed p | None -> 0 in
+  (* 1. assignment (static capability/override errors fail the run:
+     they are configuration problems, not runtime faults) *)
   let rec assign_all acc = function
     | [] -> Ok (List.rev acc)
     | cube :: rest -> (
@@ -114,100 +345,129 @@ let run ?(parallel = false) ?pool ~targets ~policy ~translation ~determination
       (* 2. partition into consecutive same-target subgraphs *)
       let groups =
         Determination.partition
-          ~assign:(fun cube -> List.assoc cube assignments)
+          ~assign:(fun cube ->
+            match List.assoc_opt cube assignments with
+            | Some t -> t
+            | None -> "" (* unreachable: assignments covers [affected] *))
           affected
       in
-      (* 3. translate every subgraph up front (cached, "offline"). *)
-      let rec translate_all acc = function
-        | [] -> Ok (List.rev acc)
-        | (target_name, cubes) :: rest -> (
-            let target =
-              match Target.find targets target_name with
-              | Some t -> t
-              | None -> invalid_arg ("Dispatcher.run: unknown target " ^ target_name)
-            in
-            let t0 = now () in
-            match Translation.translate translation determination ~target ~cubes with
-            | Error msg ->
-                Error (Printf.sprintf "translating %s for %s: %s"
-                         (String.concat ", " cubes) target_name msg)
-            | Ok (artifact, mapping) ->
-                translate_all
-                  ((target, cubes, artifact, mapping, now () -. t0) :: acc)
-                  rest)
+      (* 3. order into waves; groups inside a wave touch disjoint data
+         and may run on separate domains *)
+      let sources_of cubes =
+        List.concat_map (Determination.sources_of determination) cubes
       in
-      Result.bind (translate_all [] groups) (fun prepared ->
-          (* 4. execute, wave by wave; groups inside a wave touch
-             disjoint data and may run on separate domains. *)
-          let sources_of cubes =
-            List.concat_map (Determination.sources_of determination) cubes
-          in
-          let waves =
-            if parallel then
-              waves_of_groups ~sources_of
-                ~cubes_of:(fun (_, c, _, _, _) -> c)
-                prepared
-            else List.map (fun entry -> [ entry ]) prepared
-          in
-          let execute_one (target, cubes, _, mapping, _) =
-            let t1 = now () in
-            match target.Target.execute mapping store with
-            | Error msg ->
-                Error
-                  (Printf.sprintf "executing %s on %s: %s"
-                     (String.concat ", " cubes) target.Target.name msg)
-            | Ok result -> Ok (result, now () -. t1)
-          in
-          let rec run_waves acc wave_acc = function
-            | [] ->
-                Ok
-                  {
-                    subgraphs = List.rev acc;
-                    waves = List.rev wave_acc;
-                    recomputed = affected;
-                    translation_cache_hits = Translation.cache_hits translation;
-                  }
-            | wave :: rest -> (
-                let t0 = now () in
-                let outcomes =
-                  match wave with
-                  | [ single ] -> [ (single, execute_one single) ]
-                  | _ ->
-                      let pool =
-                        match pool with Some p -> p | None -> Pool.shared ()
-                      in
-                      List.combine wave
-                        (Pool.run_all pool
-                           (List.map (fun entry () -> execute_one entry) wave))
-                in
-                let wave_entry =
-                  {
-                    wave_subgraphs =
-                      List.map
-                        (fun (t, c, _, _, _) -> (t.Target.name, c))
-                        wave;
-                    wave_seconds = now () -. t0;
-                  }
-                in
-                let rec fold_outcomes acc = function
-                  | [] -> Ok acc
-                  | ((target, cubes, artifact, _, t_sec), Ok (result, e_sec))
-                    :: rest ->
-                      merge_into store result cubes;
-                      fold_outcomes
-                        ({
-                           target = target.Target.name;
-                           cubes;
-                           artifact;
-                           translate_seconds = t_sec;
-                           execute_seconds = e_sec;
-                         }
-                        :: acc)
-                        rest
-                  | (_, Error msg) :: _ -> Error msg
-                in
-                match fold_outcomes acc outcomes with
-                | Error _ as e -> e
-                | Ok acc -> run_waves acc (wave_entry :: wave_acc) rest)
-          in
-          run_waves [] [] waves))
+      let waves =
+        if parallel then waves_of_groups ~sources_of ~cubes_of:snd groups
+        else List.map (fun g -> [ g ]) groups
+      in
+      (* cube -> why it is dead: quarantined (its subgraph failed) or
+         skipped (an upstream cube is dead) *)
+      let dead : (string, [ `Quarantined | `Skipped ]) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let run_group_task group () =
+        run_group ?faults ~retry ~seed ~targets ~policy ~translation
+          ~determination ~store group
+      in
+      let rec run_waves sub_acc wave_acc fail_acc = function
+        | [] ->
+            let with_status status =
+              List.filter (fun c -> Hashtbl.find_opt dead c = Some status)
+                affected
+            in
+            Ok
+              {
+                subgraphs = List.rev sub_acc;
+                waves = List.rev wave_acc;
+                recomputed =
+                  List.filter (fun c -> not (Hashtbl.mem dead c)) affected;
+                translation_cache_hits = Translation.cache_hits translation;
+                failures = List.rev fail_acc;
+                quarantined = with_status `Quarantined;
+                skipped = with_status `Skipped;
+              }
+        | wave :: rest ->
+            let t0 = now () in
+            (* Narrow each group to its live cubes: a cube whose source
+               is dead (in order, so intra-group chains propagate) is
+               skipped, not executed against stale or missing data. *)
+            let narrowed =
+              List.filter_map
+                (fun (target, cubes) ->
+                  let live =
+                    List.fold_left
+                      (fun live cube ->
+                        let dead_source =
+                          List.exists (Hashtbl.mem dead)
+                            (Determination.sources_of determination cube)
+                        in
+                        if dead_source then begin
+                          Hashtbl.replace dead cube `Skipped;
+                          live
+                        end
+                        else cube :: live)
+                      [] cubes
+                    |> List.rev
+                  in
+                  if live = [] then None else Some (target, live))
+                wave
+            in
+            if narrowed = [] then run_waves sub_acc wave_acc fail_acc rest
+            else begin
+              let tasks =
+                List.map
+                  (fun ((target, live) as group) ->
+                    ( Printf.sprintf "%s [%s]" target (String.concat ", " live),
+                      run_group_task group ))
+                  narrowed
+              in
+              let outcomes =
+                match tasks with
+                | [ (label, f) ] -> [ (try Ok (f ()) with e -> Error (label, e)) ]
+                | _ ->
+                    let pool =
+                      match pool with Some p -> p | None -> Pool.shared ()
+                    in
+                    Pool.try_all pool tasks
+              in
+              let wave_entry =
+                {
+                  wave_subgraphs = narrowed;
+                  wave_seconds = now () -. t0;
+                }
+              in
+              let quarantine live =
+                List.iter (fun c -> Hashtbl.replace dead c `Quarantined) live
+              in
+              let sub_acc, fail_acc =
+                List.fold_left2
+                  (fun (sub_acc, fail_acc) (target, live) outcome ->
+                    match outcome with
+                    | Ok (Computed (sr, result, fails)) ->
+                        merge_into store result live;
+                        (sr :: sub_acc, List.rev_append fails fail_acc)
+                    | Ok (Abandoned fails) ->
+                        quarantine live;
+                        (sub_acc, List.rev_append fails fail_acc)
+                    | Error (label, exn) ->
+                        (* an exception escaped [run_group] itself —
+                           surface it, quarantine, keep the wave *)
+                        quarantine live;
+                        ( sub_acc,
+                          {
+                            Faults.f_cubes = live;
+                            f_target = target;
+                            f_stage = Faults.Execute;
+                            f_kind =
+                              Faults.Worker_crash
+                                (label ^ ": " ^ Printexc.to_string exn);
+                            f_attempts = 1;
+                            f_resolution = Faults.Quarantined;
+                          }
+                          :: fail_acc ))
+                  (sub_acc, fail_acc) narrowed outcomes
+              in
+              run_waves sub_acc (wave_entry :: wave_acc) fail_acc rest
+            end
+      in
+      run_waves [] [] [] waves)

@@ -4,12 +4,20 @@ open Matrix
     a target system using technical metadata (explicit overrides) and
     capabilities, partitions the topologically sorted recomputation set
     into per-target subgraphs, and runs each subgraph's executable on
-    its engine, sharing data through the central cube store. *)
+    its engine, sharing data through the central cube store.
+
+    Dispatch is failure-aware: every translate/execute step may fail
+    (for real, or via an injected {!Faults.plan}), is retried with
+    jittered exponential backoff, falls back to the next capable target
+    on persistent failure, and — only when no capable target remains —
+    quarantines the subgraph's cubes, skipping their dependents instead
+    of aborting the whole run. *)
 
 type assignment_policy = {
   priority : string list;
       (** Target names in preference order; the first whose
-          capabilities cover all of a cube's tgds wins. *)
+          capabilities cover all of a cube's tgds wins.  Also the
+          fallback order when an assigned target persistently fails. *)
   overrides : (string * string) list;
       (** Technical metadata: cube name → target name. An override
           naming a target that cannot run the cube is an error. *)
@@ -25,32 +33,86 @@ val assign :
   (string, string) result
 (** The target that will compute the given derived cube. *)
 
+(** {1 Retry policy} *)
+
+type retry_policy = {
+  max_attempts : int;  (** attempts per (subgraph, target, stage) *)
+  base_backoff : float;  (** seconds before the 2nd attempt *)
+  backoff_multiplier : float;  (** growth factor per further attempt *)
+  max_backoff : float;  (** backoff cap, seconds *)
+  jitter : float;
+      (** fraction of the backoff randomized (deterministically, from
+          the fault plan's seed): waits land in [1 - jitter, 1] × the
+          exponential value *)
+  subgraph_timeout : float option;
+      (** wall-clock budget per execute attempt; exceeding it counts as
+          a {!Faults.Timeout} failure (checked post-hoc: in-process
+          targets cannot be pre-empted) *)
+}
+
+val default_retry : retry_policy
+(** 3 attempts, 10ms base backoff doubling to a 0.5s cap, 50% jitter,
+    no timeout. *)
+
+val backoff_duration :
+  retry:retry_policy -> seed:int -> key:string -> attempt:int -> float
+(** The wait before retrying [attempt + 1] of the step identified by
+    [key] — exposed for tests; pure and deterministic. *)
+
+(** {1 Reports} *)
+
 type subgraph_report = {
-  target : string;
+  target : string;  (** the target that finally computed the subgraph *)
   cubes : string list;
   artifact : Target.artifact;
-  translate_seconds : float;  (** wall-clock *)
-  execute_seconds : float;  (** wall-clock *)
+  translate_seconds : float;  (** wall-clock, successful target only *)
+  execute_seconds : float;  (** wall-clock, successful attempt only *)
+  attempts : int;
+      (** total execute attempts across all targets tried (1 = clean) *)
+  translate_attempts : int;
+      (** total translate attempts across all targets tried *)
 }
 
 type wave_report = {
   wave_subgraphs : (string * string list) list;
-      (** (target name, cubes) of each subgraph run in the wave *)
+      (** (assigned target name, live cubes) of each subgraph run in
+          the wave *)
   wave_seconds : float;  (** wall-clock for the whole wave *)
 }
 
 type report = {
   subgraphs : subgraph_report list;
+      (** one entry per subgraph that produced a result *)
   waves : wave_report list;
       (** One entry per executed wave, in execution order; without
           [parallel] every wave holds a single subgraph. *)
   recomputed : string list;
+      (** cubes actually recomputed — the affected set minus
+          [quarantined] and [skipped] *)
   translation_cache_hits : int;
+  failures : Faults.failure_report list;
+      (** every target persistently abandoned during the run, with how
+          it was resolved; empty iff no fallback or quarantine happened
+          (transient failures recovered by retry on the same target
+          only show up as [attempts] > 1) *)
+  quarantined : string list;
+      (** cubes whose subgraph failed on every capable target *)
+  skipped : string list;
+      (** cubes not attempted because an upstream cube is dead *)
 }
+
+val degraded : report -> bool
+(** True when any cube was quarantined or skipped. *)
+
+val failure_summary : report -> string
+(** Human-readable multi-line summary of [failures], [quarantined] and
+    [skipped]; empty string for a fully clean run. *)
 
 val run :
   ?parallel:bool ->
   ?pool:Pool.t ->
+  ?retry:retry_policy ->
+  ?faults:Faults.plan ->
   targets:Target.t list ->
   policy:assignment_policy ->
   translation:Translation.t ->
@@ -61,8 +123,20 @@ val run :
   (report, string) result
 (** Executes the per-target subgraphs in topological order; each
     subgraph's derived cubes are merged back into [store] so later
-    subgraphs (possibly on other engines) can read them.  All
-    translation happens up front (offline, cached); with [parallel],
-    consecutive subgraphs that do not read each other's outputs execute
-    concurrently on the domain pool (the paper's dispatcher
-    "parallelization patterns") — [pool] defaults to {!Pool.shared}. *)
+    subgraphs (possibly on other engines) can read them.  Translation
+    is cached (offline in spirit: repeated runs translate nothing), and
+    with [parallel], consecutive subgraphs that do not read each
+    other's outputs execute concurrently on the domain pool (the
+    paper's dispatcher "parallelization patterns") — [pool] defaults to
+    {!Pool.shared}.
+
+    Failure semantics: each step is retried per [retry] (default
+    {!default_retry}); a target exhausting its attempts is abandoned
+    for the next capable target in [policy.priority] (the subgraph is
+    re-translated for the new engine); if none remains, the subgraph's
+    cubes are quarantined and every downstream cube is skipped.  A
+    degraded run still returns [Ok] — inspect {!degraded} and the
+    report's [failures]/[quarantined]/[skipped].  [Error] is reserved
+    for static configuration problems (unknown override target, no
+    capable target at assignment time).  [faults] injects deterministic
+    failures for testing; its seed also drives backoff jitter. *)

@@ -8,6 +8,9 @@ type config = {
   pool_size : int option;
       (* worker-domain count for parallel dispatch; None = the shared
          pool sized from Domain.recommended_domain_count *)
+  retry : Dispatcher.retry_policy;
+  faults : Faults.plan option;
+      (* injected failures, for drills and tests; None in production *)
 }
 
 let default_config =
@@ -17,6 +20,8 @@ let default_config =
     record_history = true;
     parallel_dispatch = false;
     pool_size = None;
+    retry = Dispatcher.default_retry;
+    faults = None;
   }
 
 type t = {
@@ -79,9 +84,9 @@ let default_as_of = Calendar.Date.make ~year:2026 ~month:1 ~day:1
 let run_affected ?(as_of = default_as_of) t affected =
   match
     Dispatcher.run ~parallel:t.config.parallel_dispatch ?pool:t.pool
-      ~targets:t.config.targets ~policy:t.config.policy
-      ~translation:t.translation ~determination:t.determination ~store:t.store
-      ~affected ()
+      ~retry:t.config.retry ?faults:t.config.faults ~targets:t.config.targets
+      ~policy:t.config.policy ~translation:t.translation
+      ~determination:t.determination ~store:t.store ~affected ()
   with
   | Error _ as e -> e
   | Ok report ->

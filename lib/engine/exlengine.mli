@@ -15,6 +15,11 @@ type config = {
       (** Worker-domain count for parallel dispatch; [None] uses the
           process-wide {!Pool.shared} sized from
           [Domain.recommended_domain_count]. *)
+  retry : Dispatcher.retry_policy;
+      (** Retry/backoff/timeout policy for dispatch steps. *)
+  faults : Faults.plan option;
+      (** Deterministic fault injection for drills and tests;
+          [None] (production) injects nothing. *)
 }
 
 val default_config : config
@@ -36,7 +41,10 @@ val recompute :
   ?as_of:Calendar.Date.t -> t -> (Dispatcher.report, string) result
 (** Determination → partition → (cached) translation → dispatch; clears
     the dirty set.  [as_of] stamps the history versions (defaults to
-    2026-01-01). *)
+    2026-01-01).  A degraded run (some cubes quarantined or skipped
+    after retries and fallback) still returns [Ok]; only the
+    successfully recomputed cubes enter the store and history — check
+    {!Dispatcher.degraded} on the report. *)
 
 val recompute_all :
   ?as_of:Calendar.Date.t -> t -> (Dispatcher.report, string) result

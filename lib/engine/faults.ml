@@ -1,0 +1,277 @@
+type stage = Translate | Execute
+
+type kind =
+  | Translate_error of string
+  | Execute_error of string
+  | Timeout of float
+  | Worker_crash of string
+
+let stage_to_string = function Translate -> "translate" | Execute -> "execute"
+
+let kind_to_string = function
+  | Translate_error msg -> "translate error: " ^ msg
+  | Execute_error msg -> "execute error: " ^ msg
+  | Timeout s -> Printf.sprintf "timeout after %.3fs" s
+  | Worker_crash msg -> "worker crash: " ^ msg
+
+type trigger = {
+  t_stage : stage;
+  t_target : string option;
+  t_cube : string option;
+  t_kind : kind;
+  t_times : int;
+  t_probability : float;
+}
+
+let always = -1
+
+let trigger ?target ?cube ?(times = 1) ?(probability = 1.0) stage kind =
+  {
+    t_stage = stage;
+    t_target = target;
+    t_cube = cube;
+    t_kind = kind;
+    t_times = times;
+    t_probability = probability;
+  }
+
+(* Per-trigger mutable state: [remaining] counts down the budget
+   (negative = unlimited); [seen] counts matching checks, so a
+   probabilistic trigger's nth opportunity hashes deterministically. *)
+type entry = {
+  idx : int;  (* position in the plan, to give each trigger its own
+                 deterministic probability stream *)
+  trig : trigger;
+  mutable remaining : int;
+  mutable seen : int;
+}
+
+type plan = {
+  p_seed : int;
+  mutex : Mutex.t;
+  entries : entry list;
+  mutable p_fired : int;
+}
+
+let plan ?(seed = 0) triggers =
+  {
+    p_seed = seed;
+    mutex = Mutex.create ();
+    entries =
+      List.mapi
+        (fun idx t -> { idx; trig = t; remaining = t.t_times; seen = 0 })
+        triggers;
+    p_fired = 0;
+  }
+
+let seed p = p.p_seed
+let triggers p = List.map (fun e -> e.trig) p.entries
+
+(* splitmix64-style finalizer over a fold of the inputs; the usual way
+   to get a high-quality deterministic [0,1) stream without carrying
+   PRNG state through every layer. *)
+let uniform ~seed ~key n =
+  let open Int64 in
+  let h = ref (of_int ((seed * 0x9E3779B1) lxor (n * 0x85EBCA6B))) in
+  String.iter
+    (fun c -> h := add (mul !h 0x100000001B3L) (of_int (Char.code c)))
+    key;
+  let z = ref (add !h 0x9E3779B97F4A7C15L) in
+  z := mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L;
+  z := mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL;
+  z := logxor !z (shift_right_logical !z 31);
+  (* top 53 bits -> [0,1) *)
+  to_float (shift_right_logical !z 11) /. 9007199254740992.
+
+let matches trig ~stage ~target ~cubes =
+  trig.t_stage = stage
+  && (match trig.t_target with None -> true | Some t -> t = target)
+  && match trig.t_cube with None -> true | Some c -> List.mem c cubes
+
+let check p ~stage ~target ~cubes =
+  Mutex.lock p.mutex;
+  let rec scan = function
+    | [] -> None
+    | e :: rest ->
+        if matches e.trig ~stage ~target ~cubes && e.remaining <> 0 then begin
+          e.seen <- e.seen + 1;
+          let admits =
+            e.trig.t_probability >= 1.0
+            || uniform ~seed:p.p_seed
+                 ~key:(Printf.sprintf "trigger-%d" e.idx)
+                 e.seen
+               < e.trig.t_probability
+          in
+          if admits then begin
+            if e.remaining > 0 then e.remaining <- e.remaining - 1;
+            p.p_fired <- p.p_fired + 1;
+            Some e.trig.t_kind
+          end
+          else scan rest
+        end
+        else scan rest
+  in
+  let result = scan p.entries in
+  Mutex.unlock p.mutex;
+  result
+
+let fired p =
+  Mutex.lock p.mutex;
+  let n = p.p_fired in
+  Mutex.unlock p.mutex;
+  n
+
+let reset p =
+  Mutex.lock p.mutex;
+  List.iter
+    (fun e ->
+      e.remaining <- e.trig.t_times;
+      e.seen <- 0)
+    p.entries;
+  p.p_fired <- 0;
+  Mutex.unlock p.mutex
+
+(* --- textual plans --- *)
+
+let kind_name = function
+  | Translate_error _ -> "translate-error"
+  | Execute_error _ -> "execute-error"
+  | Timeout _ -> "timeout"
+  | Worker_crash _ -> "worker-crash"
+
+let kind_message = function
+  | Translate_error m | Execute_error m | Worker_crash m -> m
+  | Timeout _ -> ""
+
+let kind_of_name name msg =
+  match name with
+  | "translate-error" -> Ok (Translate_error msg)
+  | "execute-error" -> Ok (Execute_error msg)
+  | "timeout" -> Ok (Timeout 0.)
+  | "worker-crash" -> Ok (Worker_crash msg)
+  | other -> Error (Printf.sprintf "unknown fault kind %S" other)
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_words line with
+  | [] -> Ok None
+  | [ "seed"; n ] -> (
+      match int_of_string_opt n with
+      | Some s -> Ok (Some (`Seed s))
+      | None -> Error (Printf.sprintf "line %d: bad seed %S" lineno n))
+  | "fault" :: stage :: target :: cube :: kind :: opts -> (
+      let stage =
+        match stage with
+        | "translate" -> Ok Translate
+        | "execute" -> Ok Execute
+        | s -> Error (Printf.sprintf "line %d: unknown stage %S" lineno s)
+      in
+      Result.bind stage (fun stage ->
+          let wild = function "*" -> None | s -> Some s in
+          let rec parse_opts times probability msg = function
+            | [] -> Ok (times, probability, msg)
+            | "always" :: rest -> parse_opts always probability msg rest
+            | opt :: rest -> (
+                match String.index_opt opt '=' with
+                | Some i -> (
+                    let k = String.sub opt 0 i in
+                    let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+                    match k with
+                    | "times" -> (
+                        match int_of_string_opt v with
+                        | Some n -> parse_opts n probability msg rest
+                        | None ->
+                            Error
+                              (Printf.sprintf "line %d: bad times=%S" lineno v))
+                    | "p" -> (
+                        match float_of_string_opt v with
+                        | Some p -> parse_opts times p msg rest
+                        | None ->
+                            Error (Printf.sprintf "line %d: bad p=%S" lineno v))
+                    | "msg" ->
+                        (* msg= consumes the rest of the line *)
+                        Ok (times, probability, String.concat " " (v :: rest))
+                    | other ->
+                        Error
+                          (Printf.sprintf "line %d: unknown option %S" lineno
+                             other))
+                | None ->
+                    Error (Printf.sprintf "line %d: unknown option %S" lineno opt)
+                )
+          in
+          Result.bind (parse_opts 1 1.0 "injected" opts)
+            (fun (times, probability, msg) ->
+              Result.map
+                (fun k ->
+                  Some
+                    (`Trigger
+                       (trigger ?target:(wild target) ?cube:(wild cube) ~times
+                          ~probability stage k)))
+                (kind_of_name kind msg))))
+  | w :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno w)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno seed acc = function
+    | [] -> Ok (plan ~seed (List.rev acc))
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> loop (lineno + 1) seed acc rest
+        | Ok (Some (`Seed s)) -> loop (lineno + 1) s acc rest
+        | Ok (Some (`Trigger t)) -> loop (lineno + 1) seed (t :: acc) rest)
+  in
+  loop 1 0 [] lines
+
+let to_string p =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" p.p_seed);
+  List.iter
+    (fun e ->
+      let t = e.trig in
+      let opt = function None -> "*" | Some s -> s in
+      Buffer.add_string buf
+        (Printf.sprintf "fault %s %s %s %s %s%s%s\n" (stage_to_string t.t_stage)
+           (opt t.t_target) (opt t.t_cube) (kind_name t.t_kind)
+           (if t.t_times < 0 then "always"
+            else Printf.sprintf "times=%d" t.t_times)
+           (if t.t_probability < 1.0 then Printf.sprintf " p=%g" t.t_probability
+            else "")
+           (match kind_message t.t_kind with
+           | "" -> ""
+           | m -> " msg=" ^ m)))
+    p.entries;
+  Buffer.contents buf
+
+(* --- failure reports --- *)
+
+type resolution = Fell_back of string | Quarantined
+
+type failure_report = {
+  f_cubes : string list;
+  f_target : string;
+  f_stage : stage;
+  f_kind : kind;
+  f_attempts : int;
+  f_resolution : resolution;
+}
+
+let report_to_string r =
+  Printf.sprintf "[%s] %s %s: %s (%d attempt%s) -> %s"
+    (String.concat ", " r.f_cubes)
+    r.f_target
+    (stage_to_string r.f_stage)
+    (kind_to_string r.f_kind) r.f_attempts
+    (if r.f_attempts = 1 then "" else "s")
+    (match r.f_resolution with
+    | Fell_back t -> "fell back to " ^ t
+    | Quarantined -> "quarantined")

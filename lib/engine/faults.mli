@@ -1,0 +1,125 @@
+(** The engine's failure model, and deterministic fault injection.
+
+    Dispatching per-target subgraphs to heterogeneous engines (paper,
+    Section 6) is exactly the setting where real deployments see
+    transient failures: a target system times out, a translation
+    service hiccups, a worker dies mid-subgraph.  This module gives
+    those outcomes structure — a {!kind} for every way a dispatch step
+    can fail — and provides {e injectable fault plans}: deterministic,
+    seeded scripts of failures that the dispatcher consults at each
+    translate/execute step, so the retry/fallback/quarantine machinery
+    can be exercised (and regression-tested) without any real outage. *)
+
+(** {1 Failure kinds} *)
+
+type stage = Translate | Execute
+
+type kind =
+  | Translate_error of string
+      (** The subgraph's mapping could not be rendered for the target. *)
+  | Execute_error of string
+      (** The target engine ran the artifact and reported failure. *)
+  | Timeout of float
+      (** The step exceeded its budget; carries the observed seconds
+          (0. for injected timeouts). *)
+  | Worker_crash of string
+      (** An exception escaped the worker running the step; carries the
+          task label and exception text. *)
+
+val stage_to_string : stage -> string
+val kind_to_string : kind -> string
+
+(** {1 Fault plans} *)
+
+type trigger = {
+  t_stage : stage;  (** which step of the pipeline the fault hits *)
+  t_target : string option;  (** [None] matches any target *)
+  t_cube : string option;
+      (** [None] matches any subgraph; [Some c] matches subgraphs
+          containing cube [c] *)
+  t_kind : kind;  (** the failure to inject *)
+  t_times : int;  (** fire at most this many times; negative = always *)
+  t_probability : float;
+      (** chance a matching check fires, decided by the plan's seeded
+          hash — deterministic for a given seed *)
+}
+
+val always : int
+(** Sentinel for [t_times]: never exhausts (a permanent fault). *)
+
+val trigger :
+  ?target:string ->
+  ?cube:string ->
+  ?times:int ->
+  ?probability:float ->
+  stage ->
+  kind ->
+  trigger
+(** [times] defaults to [1] (a single transient fault);
+    [probability] to [1.0]. *)
+
+type plan
+
+val plan : ?seed:int -> trigger list -> plan
+(** A mutable, thread-safe fault plan.  [seed] (default 0) drives both
+    probabilistic triggers and the dispatcher's backoff jitter. *)
+
+val seed : plan -> int
+val triggers : plan -> trigger list
+
+val check : plan -> stage:stage -> target:string -> cubes:string list -> kind option
+(** Consult the plan for one translate/execute attempt.  The first
+    matching, non-exhausted trigger (in plan order) whose probability
+    admits this invocation fires: its budget is decremented and its
+    kind returned.  Deterministic: the nth call with given arguments
+    always answers the same for the same plan history. *)
+
+val fired : plan -> int
+(** Total faults injected so far. *)
+
+val reset : plan -> unit
+(** Restore every trigger's budget and counters (for reruns). *)
+
+val uniform : seed:int -> key:string -> int -> float
+(** Deterministic hash of [(seed, key, n)] to [0, 1) — the source of
+    probabilistic firing and of the dispatcher's backoff jitter. *)
+
+(** {1 Textual plans}
+
+    One directive per line; [#] starts a comment.
+
+    {v
+    seed 42
+    fault execute  *    GDP  execute-error   times=1
+    fault execute  etl  *    worker-crash    always
+    fault translate sql TOTAL translate-error times=2 p=0.5 msg=flaky link
+    v}
+
+    Stage is [translate] or [execute]; target and cube are names or
+    [*]; kind is [translate-error], [execute-error], [timeout] or
+    [worker-crash]; options are [times=N], [always], [p=FLOAT] and
+    [msg=TEXT] (rest of line). *)
+
+val of_string : string -> (plan, string) result
+val to_string : plan -> string
+(** Canonical textual form; [of_string] of it yields an equal plan. *)
+
+(** {1 Failure reports} *)
+
+type resolution =
+  | Fell_back of string
+      (** The subgraph was re-dispatched to the named target. *)
+  | Quarantined
+      (** No capable target remained: the subgraph's cubes are dropped
+          from the run and their dependents skipped. *)
+
+type failure_report = {
+  f_cubes : string list;  (** the (live) cubes of the failed subgraph *)
+  f_target : string;  (** the target that persistently failed *)
+  f_stage : stage;
+  f_kind : kind;  (** the failure observed on the last attempt *)
+  f_attempts : int;  (** attempts made on that target at that stage *)
+  f_resolution : resolution;
+}
+
+val report_to_string : failure_report -> string

@@ -45,31 +45,35 @@ let create ?size () =
 
 let size t = t.size
 
+exception Missing_result of string
+
 (* The caller participates: after enqueueing it keeps popping and
-   executing queued tasks itself, so [run_all] makes progress even on a
+   executing queued tasks itself, so a burst makes progress even on a
    zero-worker pool (and never deadlocks when every worker is busy with
-   somebody else's work). *)
-let run_all (type a) t (fs : (unit -> a) list) : a list =
+   somebody else's work).  Exceptions never cross domain boundaries
+   raw: every task's outcome — value or exception — is captured per
+   task, with its label, so callers (the dispatcher) can turn a crashed
+   worker into a structured [Worker_crash] failure instead of losing
+   the whole burst. *)
+let try_all (type a) t (fs : (string * (unit -> a)) list) :
+    (a, string * exn) result list =
   match fs with
   | [] -> []
-  | [ f ] -> [ f () ]
+  | [ (label, f) ] -> [ (try Ok (f ()) with e -> Error (label, e)) ]
   | fs ->
       let n = List.length fs in
-      let results : a option array = Array.make n None in
-      let error = ref None in
+      let results : (a, string * exn) result option array = Array.make n None in
       let remaining = ref n in
-      let wrap i f () =
-        let outcome = try Ok (f ()) with e -> Error e in
+      let wrap i label f () =
+        let outcome = try Ok (f ()) with e -> Error (label, e) in
         Mutex.lock t.mutex;
-        (match outcome with
-        | Ok v -> results.(i) <- Some v
-        | Error e -> if !error = None then error := Some e);
+        results.(i) <- Some outcome;
         decr remaining;
         Condition.broadcast t.task_done;
         Mutex.unlock t.mutex
       in
       Mutex.lock t.mutex;
-      List.iteri (fun i f -> Queue.push (wrap i f) t.tasks) fs;
+      List.iteri (fun i (label, f) -> Queue.push (wrap i label f) t.tasks) fs;
       Condition.broadcast t.work_available;
       let rec drain () =
         if !remaining > 0 then begin
@@ -85,11 +89,22 @@ let run_all (type a) t (fs : (unit -> a) list) : a list =
       in
       drain ();
       Mutex.unlock t.mutex;
-      (match !error with Some e -> raise e | None -> ());
-      Array.to_list results
-      |> List.map (function
-           | Some v -> v
-           | None -> invalid_arg "Pool.run_all: task produced no result")
+      List.mapi
+        (fun i (label, _) ->
+          match results.(i) with
+          | Some outcome -> outcome
+          | None ->
+              (* unreachable: [drain] returns only once every wrapped
+                 task has stored its outcome — but surface it as a
+                 typed per-task failure, never a crash *)
+              Error (label, Missing_result label))
+        fs
+
+let run_all (type a) t (fs : (unit -> a) list) : a list =
+  let outcomes = try_all t (List.map (fun f -> ("task", f)) fs) in
+  (* preserve the historical contract: if any task raised, re-raise one
+     of the exceptions after all tasks have finished *)
+  List.map (function Ok v -> v | Error (_, e) -> raise e) outcomes
 
 let executor t tasks = ignore (run_all t tasks : unit list)
 

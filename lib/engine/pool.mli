@@ -17,6 +17,19 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
+exception Missing_result of string
+(** Internal invariant breach: a task finished without recording an
+    outcome.  Only ever delivered through {!try_all}'s [Error] case —
+    the pool never raises it. *)
+
+val try_all : t -> (string * (unit -> 'a)) list -> ('a, string * exn) result list
+(** Execute all labelled thunks (on workers and the calling domain) and
+    return their outcomes in order.  A task that raises yields
+    [Error (label, exn)] instead of poisoning the burst — the label
+    tells the caller {e which} unit of work crashed, so worker failures
+    can surface as structured [Worker_crash] reports.  Never raises.
+    Safe to call from several domains at once. *)
+
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** Execute all thunks (on workers and the calling domain) and return
     their results in order.  If any task raises, one of the exceptions

@@ -71,7 +71,8 @@ let sql =
             | Cube.Functionality_violation { cube; key } ->
                 Error
                   (Printf.sprintf "functionality violation in %s at %s" cube
-                     (Tuple.to_string key))))
+                     (Tuple.to_string key))
+            | Invalid_argument msg -> Error msg))
   }
 
 let vector_supports = function
@@ -165,10 +166,36 @@ let make_etl ~name ~with_stl =
             let schema_lookup = Mappings.Mapping.target_schema mapping in
             match Etl.Engine.run_job ~storage ~schema_lookup job with
             | Error _ as e -> e
-            | Ok _stats -> Ok storage))
+            | Ok _stats -> Ok storage
+            | exception Cube.Functionality_violation { cube; key } ->
+                Error
+                  (Printf.sprintf "functionality violation in %s at %s" cube
+                     (Tuple.to_string key))
+            | exception Invalid_argument msg -> Error msg))
   }
 
 let etl_no_stl = make_etl ~name:"etl" ~with_stl:false
 let etl_full = make_etl ~name:"etl-full" ~with_stl:true
 let builtins = [ sql; vector; etl_no_stl ]
 let find targets name = List.find_opt (fun t -> t.name = name) targets
+
+(* The dispatcher's single door into a target engine: consult the fault
+   plan first (an injected failure must cost nothing real), then run the
+   backend, demoting its string errors — and any exception that escapes
+   its own error paths — into structured failure kinds. *)
+let guarded_execute ?faults ~cubes t mapping registry =
+  match
+    match faults with
+    | Some plan -> Faults.check plan ~stage:Faults.Execute ~target:t.name ~cubes
+    | None -> None
+  with
+  | Some kind -> Error kind
+  | None -> (
+      match t.execute mapping registry with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Faults.Execute_error msg)
+      | exception e ->
+          Error
+            (Faults.Worker_crash
+               (Printf.sprintf "%s [%s]: %s" t.name (String.concat ", " cubes)
+                  (Printexc.to_string e))))

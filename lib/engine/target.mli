@@ -47,3 +47,16 @@ val builtins : t list
 (** [sql; vector; etl_no_stl], the default palette. *)
 
 val find : t list -> string -> t option
+
+val guarded_execute :
+  ?faults:Faults.plan ->
+  cubes:string list ->
+  t ->
+  Mappings.Mapping.t ->
+  Registry.t ->
+  (Registry.t, Faults.kind) result
+(** Run [execute] behind the failure model: the fault [plan] (if any)
+    is consulted first for an injected {!Faults.kind}; string errors
+    from the backend become {!Faults.Execute_error}; an exception
+    escaping the backend becomes {!Faults.Worker_crash} labelled with
+    the target and cubes.  Never raises. *)

@@ -2,11 +2,15 @@ type entry = (Target.artifact * Mappings.Mapping.t, string) result
 
 type t = {
   cache : (string * string list, entry) Hashtbl.t;
+  mutex : Mutex.t;
+      (* fallback re-translation happens inside pooled dispatcher
+         tasks, so the cache must tolerate concurrent callers *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { cache = Hashtbl.create 32; hits = 0; misses = 0 }
+let create () =
+  { cache = Hashtbl.create 32; mutex = Mutex.create (); hits = 0; misses = 0 }
 
 let submapping determination ~cubes =
   Result.bind (Determination.build_program determination ~cubes)
@@ -15,22 +19,50 @@ let submapping determination ~cubes =
       | Ok g -> Ok g.Mappings.Generate.mapping
       | Error e -> Error (Exl.Errors.to_string e))
 
-let translate t determination ~(target : Target.t) ~cubes =
-  let key = (target.Target.name, cubes) in
-  match Hashtbl.find_opt t.cache key with
-  | Some entry ->
-      t.hits <- t.hits + 1;
-      entry
+let translate ?faults t determination ~(target : Target.t) ~cubes =
+  (* Injected translate faults short-circuit before the cache: they are
+     transient, so they must neither be served from nor poison the
+     cached (deterministic, "offline") translations. *)
+  match
+    match faults with
+    | Some plan ->
+        Faults.check plan ~stage:Faults.Translate ~target:target.Target.name
+          ~cubes
+    | None -> None
+  with
+  | Some kind -> Error kind
   | None ->
-      t.misses <- t.misses + 1;
+      let key = (target.Target.name, cubes) in
+      Mutex.lock t.mutex;
       let entry =
-        Result.bind (submapping determination ~cubes) (fun mapping ->
-            Result.map
-              (fun artifact -> (artifact, mapping))
-              (target.Target.translate mapping))
+        match Hashtbl.find_opt t.cache key with
+        | Some entry ->
+            t.hits <- t.hits + 1;
+            entry
+        | None ->
+            t.misses <- t.misses + 1;
+            Mutex.unlock t.mutex;
+            let entry =
+              Result.bind (submapping determination ~cubes) (fun mapping ->
+                  Result.map
+                    (fun artifact -> (artifact, mapping))
+                    (target.Target.translate mapping))
+            in
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.cache key entry;
+            entry
       in
-      Hashtbl.replace t.cache key entry;
-      entry
+      Mutex.unlock t.mutex;
+      Result.map_error (fun msg -> Faults.Translate_error msg) entry
 
-let cache_hits t = t.hits
-let cache_misses t = t.misses
+let cache_hits t =
+  Mutex.lock t.mutex;
+  let h = t.hits in
+  Mutex.unlock t.mutex;
+  h
+
+let cache_misses t =
+  Mutex.lock t.mutex;
+  let m = t.misses in
+  Mutex.unlock t.mutex;
+  m

@@ -4,7 +4,8 @@
     "All the activities described so far can be efficiently performed
     off line or at the startup of the system" — the cache is what makes
     translation cost independent of the data, which experiment X3
-    quantifies. *)
+    quantifies.  The cache is thread-safe: target fallback re-translates
+    inside pooled dispatcher tasks. *)
 
 type t
 
@@ -16,12 +17,17 @@ val submapping :
     derived cubes as sources. *)
 
 val translate :
+  ?faults:Faults.plan ->
   t ->
   Determination.t ->
   target:Target.t ->
   cubes:string list ->
-  (Target.artifact * Mappings.Mapping.t, string) result
-(** Cached by (target name, cube list). *)
+  (Target.artifact * Mappings.Mapping.t, Faults.kind) result
+(** Cached by (target name, cube list).  Real translation failures are
+    cached like successes (they are deterministic) and surface as
+    {!Faults.Translate_error}; injected faults from [faults] short-
+    circuit {e before} the cache, so a transient injected failure never
+    poisons, nor is masked by, a cached translation. *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int
