@@ -1,0 +1,109 @@
+(* The chase regression guard (`bench --guard BASELINE.json`).
+
+   Re-measures the naive-vs-semi-naive chase rows and compares them to
+   a committed baseline (BENCH_PR4.json).  A workload regresses when
+
+   - its semi-naive [matches_examined] moved more than 25% in either
+     direction (the count is deterministic, so any drift is a real
+     algorithmic change, not noise), or
+   - its semi-naive wall-clock grew more than 25% AND the naive/semi
+     speedup also shrank more than 25% — both at once, so a slow or
+     throttled CI runner (which slows naive and semi alike) cannot
+     fail the build, while a genuine semi-naive slowdown (which moves
+     both measures) does.
+
+   Exit code 1 on any regression, 0 otherwise. *)
+
+let tolerance = 0.25
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type base_row = {
+  workload : string;
+  matches_examined : float;
+  seconds : float;
+  speedup : float;
+}
+
+let base_rows json =
+  List.filter_map
+    (fun entry ->
+      let field path =
+        List.fold_left
+          (fun acc name -> Option.bind acc (Obs.Json.member name))
+          (Some entry) path
+      in
+      match
+        ( Option.bind (field [ "workload" ]) Obs.Json.string_value,
+          Option.bind (field [ "semi_naive"; "matches_examined" ]) Obs.Json.number,
+          Option.bind (field [ "semi_naive"; "seconds" ]) Obs.Json.number,
+          Option.bind (field [ "speedup" ]) Obs.Json.number )
+      with
+      | Some workload, Some matches_examined, Some seconds, Some speedup ->
+          Some { workload; matches_examined; seconds; speedup }
+      | _ -> None)
+    (match Obs.Json.member "chase" json with
+    | Some chase -> Obs.Json.elements chase
+    | None -> [])
+
+let run base_path =
+  match Obs.Json.parse (read_file base_path) with
+  | Error msg ->
+      Printf.eprintf "guard: cannot parse %s: %s\n" base_path msg;
+      exit 1
+  | Ok json ->
+      let base = base_rows json in
+      if base = [] then begin
+        Printf.eprintf "guard: no chase rows in %s\n" base_path;
+        exit 1
+      end;
+      Printf.printf "chase regression guard vs %s (tolerance %.0f%%)\n\n"
+        base_path (tolerance *. 100.);
+      let current = Experiments.chase_rows () in
+      let failures = ref 0 in
+      let check row =
+        match
+          List.find_opt
+            (fun (c : Experiments.chase_row) -> c.Experiments.workload = row.workload)
+            current
+        with
+        | None ->
+            incr failures;
+            Printf.printf "  FAIL %-28s workload no longer measured\n"
+              row.workload
+        | Some c ->
+            let semi = c.Experiments.semi_naive in
+            let cur_matches = float_of_int semi.Experiments.matches_examined in
+            let cur_seconds = semi.Experiments.seconds in
+            let cur_speedup =
+              c.Experiments.naive.Experiments.seconds /. cur_seconds
+            in
+            let matches_ok =
+              cur_matches <= row.matches_examined *. (1. +. tolerance)
+              && cur_matches >= row.matches_examined *. (1. -. tolerance)
+            in
+            let seconds_ok =
+              cur_seconds <= row.seconds *. (1. +. tolerance)
+              || cur_speedup >= row.speedup *. (1. -. tolerance)
+            in
+            if not (matches_ok && seconds_ok) then incr failures;
+            Printf.printf
+              "  %s %-28s matches %.0f -> %.0f%s; semi %.2f ms -> %.2f ms, \
+               speedup %.2fx -> %.2fx%s\n"
+              (if matches_ok && seconds_ok then "ok  " else "FAIL")
+              row.workload row.matches_examined cur_matches
+              (if matches_ok then "" else " (moved > tolerance)")
+              (row.seconds *. 1000.) (cur_seconds *. 1000.) row.speedup
+              cur_speedup
+              (if seconds_ok then "" else " (slower and less speedup)")
+      in
+      List.iter check base;
+      if !failures > 0 then begin
+        Printf.printf "\n%d workload(s) regressed.\n" !failures;
+        exit 1
+      end
+      else print_endline "\nno regressions."

@@ -89,7 +89,7 @@ let run_micro () =
       Printf.printf "%-45s %15s %8.4f\n" name human r2)
     (micro_results ())
 
-(* --- machine-readable baseline (BENCH_PR2.json) --- *)
+(* --- machine-readable baseline (BENCH_PR4.json) --- *)
 
 (* Hand-rolled JSON: the toolchain has no JSON library and the schema
    is tiny.  Floats are emitted as %.6g with nan/inf mapped to null. *)
@@ -120,9 +120,10 @@ let json_side (side : Experiments.chase_side) =
 
 let run_json path =
   let chase = Experiments.chase_rows () in
+  let obs = Experiments.obs_overhead () in
   let micro = micro_results () in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"pr\": 2,\n  \"chase\": [\n";
+  Buffer.add_string buf "{\n  \"pr\": 4,\n  \"chase\": [\n";
   List.iteri
     (fun i row ->
       let naive = row.Experiments.naive
@@ -142,6 +143,23 @@ let run_json path =
            (json_float (naive.Experiments.seconds /. semi.Experiments.seconds))
            (if i = List.length chase - 1 then "" else ",")))
     chase;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n\
+       \  \"obs\": {\"disabled_seconds\": %s, \"enabled_seconds\": %s, \
+        \"enabled_overhead_pct\": %s, \"disabled_site_ns\": %s},\n\
+       \  \"counters\": [\n"
+       (json_float obs.Experiments.disabled_seconds)
+       (json_float obs.Experiments.enabled_seconds)
+       (json_float obs.Experiments.enabled_overhead_pct)
+       (json_float obs.Experiments.disabled_site_ns));
+  List.iteri
+    (fun i (name, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"count\": %d}%s\n"
+           (json_escape name) n
+           (if i = List.length obs.Experiments.counters - 1 then "" else ",")))
+    obs.Experiments.counters;
   Buffer.add_string buf "  ],\n  \"micro\": [\n";
   List.iteri
     (fun i (name, estimate, r2) ->
@@ -170,9 +188,13 @@ let () =
   | _ :: "x7" :: _ -> Experiments.x7 ()
   | _ :: "x8" :: _ -> Experiments.x8 ()
   | _ :: "x9" :: _ -> Experiments.x9 ()
+  | _ :: "x10" :: _ -> Experiments.x10 ()
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "--json" :: rest ->
-      run_json (match rest with path :: _ -> path | [] -> "BENCH_PR2.json")
+      run_json (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
+  | _ :: "--guard" :: rest ->
+      Baseline.run
+        (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
   | _ ->
       print_endline "EXLEngine benchmark harness (see EXPERIMENTS.md)";
       Experiments.all ();

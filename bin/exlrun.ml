@@ -129,8 +129,8 @@ let run_engine ~source ~program ~registry ~out_dir ~overrides ~fault_plan
               if summary <> "" then print_endline summary;
               if Engine.Dispatcher.degraded report then 1 else 0))
 
-let run file data_dir out_dir backend verify overrides fault_plan max_attempts
-    backoff timeout =
+let run_inner file data_dir out_dir backend verify overrides fault_plan
+    max_attempts backoff timeout =
   let source = read_file file in
   match Exl.Program.load source with
   | Error e ->
@@ -166,6 +166,50 @@ let run file data_dir out_dir backend verify overrides fault_plan max_attempts
               | Ok result ->
                   write_results out_dir program result;
                   0))))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Observability wrapper: when any telemetry output is requested,
+   install an ambient collector around the whole run, then export.
+   [--normalize-times] zeroes timestamps/durations and suppresses the
+   provenance wall-clock columns so outputs are byte-deterministic —
+   what the golden tests diff. *)
+let run file data_dir out_dir backend verify overrides fault_plan max_attempts
+    backoff timeout trace_file metrics_file events_file provenance normalize =
+  let wanted =
+    trace_file <> None || metrics_file <> None || events_file <> None
+    || provenance
+  in
+  if not wanted then
+    run_inner file data_dir out_dir backend verify overrides fault_plan
+      max_attempts backoff timeout
+  else begin
+    let c = Obs.create () in
+    let code =
+      Obs.with_collector c (fun () ->
+          run_inner file data_dir out_dir backend verify overrides fault_plan
+            max_attempts backoff timeout)
+    in
+    Option.iter
+      (fun path -> write_file path (Obs.Export.chrome_trace ~normalize c.Obs.trace))
+      trace_file;
+    Option.iter
+      (fun path -> write_file path (Obs.Export.prometheus c.Obs.metrics))
+      metrics_file;
+    Option.iter
+      (fun path ->
+        write_file path
+          (Obs.Export.jsonl ~normalize c.Obs.trace c.Obs.metrics
+             c.Obs.provenance))
+      events_file;
+    if provenance then
+      print_string (Obs.Provenance.report ~timings:(not normalize) c.Obs.provenance);
+    code
+  end
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
@@ -234,6 +278,50 @@ let verify_arg =
     & info [ "verify" ]
         ~doc:"Run all back ends and check they produce identical cubes first.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome-trace JSON of the run (hierarchical spans, one \
+           lane per domain) to $(docv); load it in Perfetto or \
+           chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write run counters, gauges and histograms in Prometheus text \
+           format to $(docv).")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the full event log (spans, metrics, provenance) as JSON \
+           Lines to $(docv).")
+
+let provenance_arg =
+  Arg.(
+    value & flag
+    & info [ "provenance" ]
+        ~doc:
+          "Print the run provenance report: which tgds, target engine, \
+           dispatch wave and attempt count produced each output cube.")
+
+let normalize_arg =
+  Arg.(
+    value & flag
+    & info [ "normalize-times" ]
+        ~doc:
+          "Zero all timestamps and durations in telemetry outputs (for \
+           byte-deterministic golden tests).")
+
 let cmd =
   let doc = "run EXL statistical programs against CSV data" in
   Cmd.v
@@ -241,6 +329,7 @@ let cmd =
     Term.(
       const run $ file_arg $ data_arg $ out_arg $ backend_arg $ verify_arg
       $ override_arg $ fault_plan_arg $ max_attempts_arg $ backoff_arg
-      $ timeout_arg)
+      $ timeout_arg $ trace_arg $ metrics_arg $ events_arg $ provenance_arg
+      $ normalize_arg)
 
 let () = exit (Cmd.eval' cmd)

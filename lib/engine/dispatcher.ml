@@ -122,8 +122,10 @@ let failure_summary r =
       else [ "skipped (upstream quarantined): " ^ String.concat ", " r.skipped ])
 
 (* Wall clock, not [Sys.time]: CPU time over-counts when subgraphs run
-   on several domains and under-counts blocked waits. *)
-let now () = Unix.gettimeofday ()
+   on several domains and under-counts blocked waits.  The Obs shim
+   additionally clamps it monotone, so NTP steps cannot produce
+   negative durations in reports or backoff math. *)
+let now () = Obs.Clock.now ()
 
 let merge_into store (result : Registry.t) cubes =
   List.iter
@@ -206,10 +208,23 @@ let stamp_resolutions ~success trail =
    persistently failing target, fall back to the next capable one
    (re-translating for the new engine).  Runs inside a pooled task, so
    it must never raise. *)
-let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
-    ~store (assigned, cubes) =
+let run_group ?faults ~retry ~seed ~wave ~targets ~policy ~translation
+    ~determination ~store (assigned, cubes) =
   let key = String.concat "," cubes in
-  let sleep d = if d > 0. then Unix.sleepf d in
+  let sleep ~stage ~target ~attempt d =
+    if d > 0. then begin
+      Obs.count "dispatcher.retries";
+      Obs.with_span "dispatch.backoff"
+        ~attrs:
+          [
+            ("stage", stage);
+            ("target", target);
+            ("attempt", string_of_int attempt);
+          ]
+        (fun () -> Unix.sleepf d)
+    end
+    else Obs.count "dispatcher.retries"
+  in
   let unresolved ~target ~stage ~kind ~attempts =
     {
       Faults.f_cubes = cubes;
@@ -241,15 +256,24 @@ let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
         let rec translate attempt =
           incr translate_attempts;
           match
-            Translation.translate ?faults translation determination ~target:t
-              ~cubes
+            Obs.with_span "dispatch.retry"
+              ~attrs:
+                [
+                  ("stage", "translate");
+                  ("target", t.Target.name);
+                  ("attempt", string_of_int attempt);
+                ]
+              (fun () ->
+                Translation.translate ?faults translation determination
+                  ~target:t ~cubes)
           with
           | Ok pair -> Ok pair
           | Error kind ->
               if attempt >= retry.max_attempts then
                 Error (Faults.Translate, kind, attempt)
               else begin
-                sleep (backoff_duration ~retry ~seed ~key:backoff_key ~attempt);
+                sleep ~stage:"translate" ~target:t.Target.name ~attempt
+                  (backoff_duration ~retry ~seed ~key:backoff_key ~attempt);
                 translate (attempt + 1)
               end
         in
@@ -262,7 +286,16 @@ let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
               incr exec_attempts;
               let t1 = now () in
               let outcome =
-                Target.guarded_execute ?faults ~cubes t mapping store
+                Obs.with_span "dispatch.retry"
+                  ~attrs:
+                    [
+                      ("stage", "execute");
+                      ("target", t.Target.name);
+                      ("attempt", string_of_int attempt);
+                      ("cubes", key);
+                    ]
+                  (fun () ->
+                    Target.guarded_execute ?faults ~cubes t mapping store)
               in
               let elapsed = now () -. t1 in
               let outcome =
@@ -283,12 +316,13 @@ let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
                         attempts = 0 (* filled in below *);
                         translate_attempts = 0;
                       },
+                      mapping,
                       result )
               | Error kind ->
                   if attempt >= retry.max_attempts then
                     Error (Faults.Execute, kind, attempt)
                   else begin
-                    sleep
+                    sleep ~stage:"execute" ~target:t.Target.name ~attempt
                       (backoff_duration ~retry ~seed ~key:backoff_key ~attempt);
                     execute (attempt + 1)
                   end
@@ -312,16 +346,42 @@ let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
                   rest
             | Some t -> (
                 match attempt_target t with
-                | Ok (sr, result) ->
-                    Computed
-                      ( {
-                          sr with
-                          attempts = !exec_attempts;
-                          translate_attempts = !translate_attempts;
-                        },
-                        result,
-                        stamp_resolutions ~success:(Some name)
-                          (List.rev trail) )
+                | Ok (sr, mapping, result) ->
+                    let fails =
+                      stamp_resolutions ~success:(Some name) (List.rev trail)
+                    in
+                    Obs.count ~n:(List.length fails) "dispatcher.fallbacks";
+                    let sr =
+                      {
+                        sr with
+                        attempts = !exec_attempts;
+                        translate_attempts = !translate_attempts;
+                      }
+                    in
+                    if Obs.enabled () then
+                      List.iter
+                        (fun cube ->
+                          Obs.record_provenance
+                            {
+                              Obs.Provenance.cube;
+                              tgds =
+                                List.filter_map
+                                  (fun tgd ->
+                                    if
+                                      Mappings.Tgd.target_relation tgd = cube
+                                    then Some (Mappings.Tgd.to_string tgd)
+                                    else None)
+                                  mapping.Mappings.Mapping.t_tgds;
+                              wave;
+                              target = name;
+                              status = Obs.Provenance.Computed;
+                              attempts = sr.attempts;
+                              translate_attempts = sr.translate_attempts;
+                              translate_seconds = sr.translate_seconds;
+                              execute_seconds = sr.execute_seconds;
+                            })
+                        cubes;
+                    Computed (sr, result, fails)
                 | Error (stage, kind, attempts) ->
                     try_candidates
                       (unresolved ~target:name ~stage ~kind ~attempts :: trail)
@@ -331,6 +391,13 @@ let run_group ?faults ~retry ~seed ~targets ~policy ~translation ~determination
 
 let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
     ~policy ~translation ~determination ~store ~affected () =
+  Obs.with_span "dispatcher.run"
+    ~attrs:
+      [
+        ("affected", string_of_int (List.length affected));
+        ("parallel", string_of_bool parallel);
+      ]
+  @@ fun () ->
   let seed = match faults with Some p -> Faults.seed p | None -> 0 in
   (* 1. assignment (static capability/override errors fail the run:
      they are configuration problems, not runtime faults) *)
@@ -365,16 +432,30 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
       let dead : (string, [ `Quarantined | `Skipped ]) Hashtbl.t =
         Hashtbl.create 8
       in
-      let run_group_task group () =
-        run_group ?faults ~retry ~seed ~targets ~policy ~translation
-          ~determination ~store group
+      let run_group_task ~wave ((assigned, cubes) as group) () =
+        Obs.with_span "dispatch.subgraph"
+          ~attrs:
+            [
+              ("target", assigned);
+              ("cubes", String.concat "," cubes);
+              ("wave", string_of_int wave);
+            ]
+          (fun () ->
+            run_group ?faults ~retry ~seed ~wave ~targets ~policy ~translation
+              ~determination ~store group)
       in
-      let rec run_waves sub_acc wave_acc fail_acc = function
+      let rec run_waves w sub_acc wave_acc fail_acc = function
         | [] ->
             let with_status status =
               List.filter (fun c -> Hashtbl.find_opt dead c = Some status)
                 affected
             in
+            Obs.count
+              ~n:(List.length (with_status `Quarantined))
+              "dispatcher.quarantined_cubes";
+            Obs.count
+              ~n:(List.length (with_status `Skipped))
+              "dispatcher.skipped_cubes";
             Ok
               {
                 subgraphs = List.rev sub_acc;
@@ -403,6 +484,19 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
                         in
                         if dead_source then begin
                           Hashtbl.replace dead cube `Skipped;
+                          if Obs.enabled () then
+                            Obs.record_provenance
+                              {
+                                Obs.Provenance.cube;
+                                tgds = [];
+                                wave = w;
+                                target = "";
+                                status = Obs.Provenance.Skipped;
+                                attempts = 0;
+                                translate_attempts = 0;
+                                translate_seconds = 0.;
+                                execute_seconds = 0.;
+                              };
                           live
                         end
                         else cube :: live)
@@ -412,23 +506,31 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
                   if live = [] then None else Some (target, live))
                 wave
             in
-            if narrowed = [] then run_waves sub_acc wave_acc fail_acc rest
+            if narrowed = [] then run_waves (w + 1) sub_acc wave_acc fail_acc rest
             else begin
               let tasks =
                 List.map
                   (fun ((target, live) as group) ->
                     ( Printf.sprintf "%s [%s]" target (String.concat ", " live),
-                      run_group_task group ))
+                      run_group_task ~wave:w group ))
                   narrowed
               in
               let outcomes =
-                match tasks with
-                | [ (label, f) ] -> [ (try Ok (f ()) with e -> Error (label, e)) ]
-                | _ ->
-                    let pool =
-                      match pool with Some p -> p | None -> Pool.shared ()
-                    in
-                    Pool.try_all pool tasks
+                Obs.with_span "dispatcher.wave"
+                  ~attrs:
+                    [
+                      ("wave", string_of_int w);
+                      ("subgraphs", string_of_int (List.length narrowed));
+                    ]
+                  (fun () ->
+                    match tasks with
+                    | [ (label, f) ] ->
+                        [ (try Ok (f ()) with e -> Error (label, e)) ]
+                    | _ ->
+                        let pool =
+                          match pool with Some p -> p | None -> Pool.shared ()
+                        in
+                        Pool.try_all pool tasks)
               in
               let wave_entry =
                 {
@@ -436,8 +538,27 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
                   wave_seconds = now () -. t0;
                 }
               in
-              let quarantine live =
-                List.iter (fun c -> Hashtbl.replace dead c `Quarantined) live
+              Obs.count "dispatcher.waves";
+              Obs.count ~n:(List.length narrowed) "dispatcher.subgraphs";
+              Obs.observe "dispatcher.wave_seconds" wave_entry.wave_seconds;
+              let quarantine target live =
+                List.iter
+                  (fun c ->
+                    Hashtbl.replace dead c `Quarantined;
+                    if Obs.enabled () then
+                      Obs.record_provenance
+                        {
+                          Obs.Provenance.cube = c;
+                          tgds = [];
+                          wave = w;
+                          target;
+                          status = Obs.Provenance.Quarantined;
+                          attempts = 0;
+                          translate_attempts = 0;
+                          translate_seconds = 0.;
+                          execute_seconds = 0.;
+                        })
+                  live
               in
               let sub_acc, fail_acc =
                 List.fold_left2
@@ -447,12 +568,12 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
                         merge_into store result live;
                         (sr :: sub_acc, List.rev_append fails fail_acc)
                     | Ok (Abandoned fails) ->
-                        quarantine live;
+                        quarantine target live;
                         (sub_acc, List.rev_append fails fail_acc)
                     | Error (label, exn) ->
                         (* an exception escaped [run_group] itself —
                            surface it, quarantine, keep the wave *)
-                        quarantine live;
+                        quarantine target live;
                         ( sub_acc,
                           {
                             Faults.f_cubes = live;
@@ -467,7 +588,7 @@ let run ?(parallel = false) ?pool ?(retry = default_retry) ?faults ~targets
                           :: fail_acc ))
                   (sub_acc, fail_acc) narrowed outcomes
               in
-              run_waves sub_acc (wave_entry :: wave_acc) fail_acc rest
+              run_waves (w + 1) sub_acc (wave_entry :: wave_acc) fail_acc rest
             end
       in
-      run_waves [] [] [] waves)
+      run_waves 0 [] [] [] waves)

@@ -82,6 +82,9 @@ let changed t = List.sort String.compare t.dirty
 let default_as_of = Calendar.Date.make ~year:2026 ~month:1 ~day:1
 
 let run_affected ?(as_of = default_as_of) t affected =
+  Obs.with_span "engine.recompute"
+    ~attrs:[ ("affected", string_of_int (List.length affected)) ]
+  @@ fun () ->
   match
     Dispatcher.run ~parallel:t.config.parallel_dispatch ?pool:t.pool
       ~retry:t.config.retry ?faults:t.config.faults ~targets:t.config.targets

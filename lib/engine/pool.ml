@@ -66,14 +66,17 @@ let try_all (type a) t (fs : (string * (unit -> a)) list) :
       let remaining = ref n in
       let wrap i label f () =
         let outcome = try Ok (f ()) with e -> Error (label, e) in
+        Obs.count "pool.tasks_completed";
         Mutex.lock t.mutex;
         results.(i) <- Some outcome;
         decr remaining;
         Condition.broadcast t.task_done;
         Mutex.unlock t.mutex
       in
+      Obs.count ~n "pool.tasks_submitted";
       Mutex.lock t.mutex;
       List.iteri (fun i (label, f) -> Queue.push (wrap i label f) t.tasks) fs;
+      Obs.gauge "pool.queue_depth" (float_of_int (Queue.length t.tasks));
       Condition.broadcast t.work_available;
       let rec drain () =
         if !remaining > 0 then begin

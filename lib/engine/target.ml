@@ -5,15 +5,19 @@ type artifact =
   | R_script of string
   | Matlab_script of string
   | Kettle_xml of string
+  | Tgd_program of string
 
 let artifact_kind = function
   | Sql_script _ -> "sql"
   | R_script _ -> "r"
   | Matlab_script _ -> "matlab"
   | Kettle_xml _ -> "kettle-xml"
+  | Tgd_program _ -> "tgd"
 
 let artifact_text = function
-  | Sql_script s | R_script s | Matlab_script s | Kettle_xml s -> s
+  | Sql_script s | R_script s | Matlab_script s | Kettle_xml s | Tgd_program s
+    ->
+      s
 
 type t = {
   name : string;
@@ -176,7 +180,48 @@ let make_etl ~name ~with_stl =
 
 let etl_no_stl = make_etl ~name:"etl" ~with_stl:false
 let etl_full = make_etl ~name:"etl-full" ~with_stl:true
-let builtins = [ sql; vector; etl_no_stl ]
+
+(* The chase target runs the sub-mapping natively with the semi-naive
+   chase over relational instances — the reference engine of Section 4.
+   Its deployable artifact is the mapping itself, rendered as a tgd
+   program; execution is certified by the same machinery the test
+   oracle uses, and (unlike the other targets) it emits chase-round
+   spans into an installed Obs collector. *)
+let chase =
+  {
+    name = "chase";
+    supports = (fun _ -> true);
+    translate =
+      (fun mapping ->
+        Ok
+          (Tgd_program
+             (String.concat "\n"
+                (List.map Mappings.Tgd.to_string
+                   mapping.Mappings.Mapping.t_tgds))));
+    execute =
+      (fun mapping registry ->
+        let source =
+          Exchange.Instance.of_registry (registry_of_sources mapping registry)
+        in
+        match Exchange.Chase.run mapping source with
+        | Error _ as e -> e
+        | Ok (instance, _stats) -> (
+            try
+              Ok
+                (Exchange.Instance.to_registry instance
+                   ~elementary:
+                     (List.map
+                        (fun s -> s.Schema.name)
+                        mapping.Mappings.Mapping.source))
+            with
+            | Cube.Functionality_violation { cube; key } ->
+                Error
+                  (Printf.sprintf "functionality violation in %s at %s" cube
+                     (Tuple.to_string key))
+            | Invalid_argument msg -> Error msg));
+  }
+
+let builtins = [ sql; vector; etl_no_stl; chase ]
 let find targets name = List.find_opt (fun t -> t.name = name) targets
 
 (* The dispatcher's single door into a target engine: consult the fault

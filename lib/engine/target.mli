@@ -12,6 +12,9 @@ type artifact =
   | R_script of string
   | Matlab_script of string
   | Kettle_xml of string
+  | Tgd_program of string
+      (** the executable schema mapping itself, rendered textually —
+          the {!chase} target's deployable artifact *)
 
 val artifact_kind : artifact -> string
 val artifact_text : artifact -> string
@@ -43,8 +46,17 @@ val etl_no_stl : t
 val etl_full : t
 (** The ETL target with user-defined steps covering all black boxes. *)
 
+val chase : t
+(** The reference engine: runs the sub-mapping directly with the
+    semi-naive chase; supports every tgd shape.  Last in the default
+    priority order, but first when full observability (chase-round
+    spans) is wanted — see exlrun's engine backend. *)
+
 val builtins : t list
-(** [sql; vector; etl_no_stl], the default palette. *)
+(** [sql; vector; etl_no_stl; chase], the default palette.  The default
+    {!Dispatcher.default_policy} priority still reads
+    [sql; vector; etl], so adding [chase] to the palette changes no
+    existing assignment. *)
 
 val find : t list -> string -> t option
 

@@ -38,9 +38,11 @@ let translate ?faults t determination ~(target : Target.t) ~cubes =
         match Hashtbl.find_opt t.cache key with
         | Some entry ->
             t.hits <- t.hits + 1;
+            Obs.count "translation.cache_hits";
             entry
         | None ->
             t.misses <- t.misses + 1;
+            Obs.count "translation.cache_misses";
             Mutex.unlock t.mutex;
             let entry =
               Result.bind (submapping determination ~cubes) (fun mapping ->

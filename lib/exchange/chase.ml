@@ -521,7 +521,11 @@ let run_naive ~check_egds (m : Mappings.Mapping.t) target stats =
     if n > max_rounds then Error "naive chase did not reach a fixpoint"
     else begin
       stats.rounds <- stats.rounds + 1;
-      match round () with
+      match
+        Obs.with_span "chase.round"
+          ~attrs:[ ("round", string_of_int n); ("mode", "naive") ]
+          round
+      with
       | Error _ as e -> e
       | Ok true -> rounds (n + 1)
       | Ok false -> Ok ()
@@ -615,24 +619,31 @@ let run_stratum ~executor instance stats stratum =
              (Tgd.source_relations tgd))
          stratum
   in
+  let collect tgd =
+    Obs.with_span "chase.tgd"
+      ~attrs:[ ("target", Tgd.target_relation tgd) ]
+      (fun () -> apply_full_collect instance tgd)
+  in
   let outcomes =
-    match stratum with
-    | [ tgd ] -> [ apply_full_collect instance tgd ]
-    | _ when not parallel_safe ->
-        List.map (apply_full_collect instance) stratum
-    | _ ->
-        let n = List.length stratum in
-        let results = Array.make n None in
-        let tasks =
-          List.mapi
-            (fun i tgd () -> results.(i) <- Some (apply_full_collect instance tgd))
-            stratum
-        in
-        executor tasks;
-        Array.to_list results
-        |> List.map (function
-             | Some r -> r
-             | None -> (Error "parallel chase task did not run", empty_stats (), []))
+    Obs.with_span "chase.round"
+      ~attrs:
+        [ ("round", "1"); ("parallel", string_of_bool parallel_safe) ]
+      (fun () ->
+        match stratum with
+        | [ tgd ] -> [ collect tgd ]
+        | _ when not parallel_safe -> List.map collect stratum
+        | _ ->
+            let n = List.length stratum in
+            let results = Array.make n None in
+            let tasks =
+              List.mapi (fun i tgd () -> results.(i) <- Some (collect tgd)) stratum
+            in
+            executor tasks;
+            Array.to_list results
+            |> List.map (function
+                 | Some r -> r
+                 | None ->
+                     (Error "parallel chase task did not run", empty_stats (), [])))
   in
   let deltas : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 8 in
   let record tbl rel fact =
@@ -667,38 +678,59 @@ let run_stratum ~executor instance stats stratum =
           Error "chase stratum did not reach a fixpoint"
         else begin
           stats.rounds <- stats.rounds + 1;
-          let next : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 8 in
-          let delta_of rel =
-            Option.value ~default:[] (Hashtbl.find_opt deltas rel)
+          let delta_total =
+            Hashtbl.fold (fun _ l acc -> acc + List.length l) deltas 0
           in
-          let sets : (string, unit Tuple.Table.t) Hashtbl.t = Hashtbl.create 8 in
-          let delta_set rel =
-            match Hashtbl.find_opt sets rel with
-            | Some s -> s
-            | None ->
-                let s = Tuple.Table.create 16 in
-                List.iter
-                  (fun f -> Tuple.Table.replace s (Tuple.of_array f) ())
-                  (delta_of rel);
-                Hashtbl.replace sets rel s;
-                s
+          Obs.observe ~buckets:Obs.Metrics.size_buckets "chase.delta_facts"
+            (float_of_int delta_total);
+          let outcome =
+            Obs.with_span "chase.round"
+              ~attrs:
+                [
+                  ("round", string_of_int round);
+                  ("delta_facts", string_of_int delta_total);
+                ]
+              (fun () ->
+                let next : (string, Instance.fact list) Hashtbl.t =
+                  Hashtbl.create 8
+                in
+                let delta_of rel =
+                  Option.value ~default:[] (Hashtbl.find_opt deltas rel)
+                in
+                let sets : (string, unit Tuple.Table.t) Hashtbl.t =
+                  Hashtbl.create 8
+                in
+                let delta_set rel =
+                  match Hashtbl.find_opt sets rel with
+                  | Some s -> s
+                  | None ->
+                      let s = Tuple.Table.create 16 in
+                      List.iter
+                        (fun f -> Tuple.Table.replace s (Tuple.of_array f) ())
+                        (delta_of rel);
+                      Hashtbl.replace sets rel s;
+                      s
+                in
+                let rec apply_all = function
+                  | [] -> Ok ()
+                  | tgd :: rest -> (
+                      match
+                        apply_tgd_delta instance tgd stats (record next)
+                          ~delta_of ~delta_set
+                      with
+                      | Error msg ->
+                          Error
+                            (Printf.sprintf "chase failed on tgd [%s]: %s"
+                               (Tgd.to_string tgd) msg)
+                      | Ok () -> apply_all rest)
+                in
+                match apply_all stratum with
+                | Error _ as e -> e
+                | Ok () -> Ok next)
           in
-          let rec apply_all = function
-            | [] -> Ok ()
-            | tgd :: rest -> (
-                match
-                  apply_tgd_delta instance tgd stats (record next) ~delta_of
-                    ~delta_set
-                with
-                | Error msg ->
-                    Error
-                      (Printf.sprintf "chase failed on tgd [%s]: %s"
-                         (Tgd.to_string tgd) msg)
-                | Ok () -> apply_all rest)
-          in
-          match apply_all stratum with
+          match outcome with
           | Error _ as e -> e
-          | Ok () -> loop next (round + 1)
+          | Ok next -> loop next (round + 1)
         end
       in
       loop deltas 2
@@ -713,10 +745,18 @@ let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
            then compute the actual fixpoint. *)
         match m.Mappings.Mapping.t_tgds with [] -> [] | tgds -> [ tgds ])
   in
-  let rec loop = function
+  let rec loop i = function
     | [] -> Ok ()
     | stratum :: rest -> (
-        match run_stratum ~executor target stats stratum with
+        match
+          Obs.with_span "chase.stratum"
+            ~attrs:
+              [
+                ("stratum", string_of_int i);
+                ("tgds", string_of_int (List.length stratum));
+              ]
+            (fun () -> run_stratum ~executor target stats stratum)
+        with
         | Error _ as e -> e
         | Ok () -> (
             match
@@ -724,9 +764,9 @@ let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
                 (List.map Tgd.target_relation stratum)
             with
             | Error _ as e -> e
-            | Ok () -> loop rest))
+            | Ok () -> loop (i + 1) rest))
   in
-  loop strata
+  loop 0 strata
 
 (* Static pre-check hook.  The chase itself must not depend on the
    analysis library (dependency direction), so the check is injected:
@@ -756,9 +796,35 @@ let run ?(check_egds = true) ?(mode = Semi_naive)
               Instance.iter_facts source name (fun fact ->
                   ignore (Instance.insert target name (Array.copy fact))))
         m.Mappings.Mapping.source;
+      let builds0, lookups0 = Instance.index_stats () in
       let result =
-        match mode with
-        | Naive -> run_naive ~check_egds m target stats
-        | Semi_naive -> run_semi_naive ~check_egds ~executor m target stats
+        Obs.with_span "chase.run"
+          ~attrs:
+            [
+              ("mode", (match mode with Naive -> "naive" | Semi_naive -> "semi_naive"));
+              ("tgds", string_of_int (List.length m.Mappings.Mapping.t_tgds));
+            ]
+          ~attrs_after:(fun () ->
+            [
+              ("rounds", string_of_int stats.rounds);
+              ("tuples_generated", string_of_int stats.tuples_generated);
+            ])
+          (fun () ->
+            match mode with
+            | Naive -> run_naive ~check_egds m target stats
+            | Semi_naive -> run_semi_naive ~check_egds ~executor m target stats)
       in
+      (* Aggregated flush: the hot match loops touch only the local
+         [stats] record; the metrics registry sees one update per run. *)
+      if Obs.enabled () then begin
+        let builds1, lookups1 = Instance.index_stats () in
+        Obs.count "chase.runs";
+        Obs.count ~n:stats.rounds "chase.rounds";
+        Obs.count ~n:stats.matches_examined "chase.matches_examined";
+        Obs.count ~n:stats.tuples_generated "chase.tuples_generated";
+        Obs.count ~n:stats.tgds_applied "chase.tgds_applied";
+        Obs.count ~n:stats.egd_checks "chase.egd_checks";
+        Obs.count ~n:(builds1 - builds0) "chase.index_builds";
+        Obs.count ~n:(lookups1 - lookups0) "chase.index_lookups"
+      end;
       Result.map (fun () -> (target, stats)) result

@@ -44,6 +44,14 @@ let relation_exn t name =
   | Some r -> r
   | None -> invalid_arg ("Instance: unknown relation " ^ name)
 
+(* Process-global index telemetry.  [t] is a bare hashtable, so the
+   counters live here; readers snapshot before/after a chase run and
+   report the delta (see Chase).  Atomics: indexes are built from pool
+   worker domains. *)
+let index_builds = Atomic.make 0
+let index_lookups = Atomic.make 0
+let index_stats () = (Atomic.get index_builds, Atomic.get index_lookups)
+
 let index_key positions (fact : fact) =
   Tuple.of_list (List.map (fun p -> fact.(p)) positions)
 
@@ -121,6 +129,7 @@ let iter_facts t name f =
 let ensure_index t name positions =
   let r = relation_exn t name in
   if not (Hashtbl.mem r.indexes positions) then begin
+    Atomic.incr index_builds;
     let idx = Tuple.Table.create (max 64 (Tuple.Table.length r.store)) in
     Tuple.Table.iter
       (fun k () ->
@@ -131,6 +140,7 @@ let ensure_index t name positions =
   end
 
 let lookup_index t name positions values =
+  Atomic.incr index_lookups;
   ensure_index t name positions;
   let r = relation_exn t name in
   Tuple.Table.find_multi

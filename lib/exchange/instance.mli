@@ -51,6 +51,11 @@ val indexed_positions : t -> string -> int list list
 (** Position lists currently indexed on a relation (sorted; for tests
     and diagnostics). *)
 
+val index_stats : unit -> int * int
+(** Process-global [(builds, lookups)] totals across all instances;
+    telemetry readers snapshot before/after a run and report the
+    delta. *)
+
 val iter_facts : t -> string -> (fact -> unit) -> unit
 (** Zero-copy iteration over a relation's facts, in no particular
     order; callers must not mutate the arrays. *)

@@ -1,0 +1,12 @@
+(* The high-water mark is shared by all domains: a CAS loop keeps it
+   non-decreasing without a lock on the hot path. *)
+let high_water = Atomic.make 0.
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get high_water in
+  if t >= prev then
+    if Atomic.compare_and_set high_water prev t then t else now ()
+  else prev
+
+let elapsed t0 = Float.max 0. (now () -. t0)

@@ -1,0 +1,198 @@
+(* Dense lane renumbering under [normalize]: domain ids depend on spawn
+   history, which is not stable run to run; first-appearance order of
+   the id-ordered span list is. *)
+let lane_mapper ~normalize spans =
+  if not normalize then fun lane -> lane
+  else begin
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Trace.span) ->
+        if not (Hashtbl.mem table s.Trace.lane) then
+          Hashtbl.replace table s.Trace.lane (Hashtbl.length table))
+      spans;
+    fun lane -> match Hashtbl.find_opt table lane with Some i -> i | None -> lane
+  end
+
+let span_args (s : Trace.span) =
+  Json.Obj
+    (("span_id", Json.Num (float_of_int s.Trace.id))
+    :: (match s.Trace.parent with
+       | Some p -> [ ("parent_id", Json.Num (float_of_int p)) ]
+       | None -> [])
+    @ List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs)
+
+let chrome_trace ?(normalize = false) trace =
+  let spans = Trace.spans trace in
+  let lane = lane_mapper ~normalize spans in
+  let time s = if normalize then 0. else Float.round (s *. 1e6) in
+  let lanes =
+    List.sort_uniq compare (List.map (fun (s : Trace.span) -> lane s.Trace.lane) spans)
+  in
+  let thread_names =
+    List.map
+      (fun l ->
+        Json.Obj
+          [
+            ("ph", Json.Str "M");
+            ("name", Json.Str "thread_name");
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int l));
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" l)) ]);
+          ])
+      lanes
+  in
+  let events =
+    List.map
+      (fun (s : Trace.span) ->
+        Json.Obj
+          [
+            ("name", Json.Str s.Trace.name);
+            ("cat", Json.Str "exl");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (time s.Trace.start_s));
+            ("dur", Json.Num (time s.Trace.duration_s));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int (lane s.Trace.lane)));
+            ("args", span_args s);
+          ])
+      spans
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (thread_names @ events));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+  ^ "\n"
+
+let jsonl ?(normalize = false) trace metrics provenance =
+  let buf = Buffer.create 1024 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  let spans = Trace.spans trace in
+  let lane = lane_mapper ~normalize spans in
+  let time s = if normalize then 0. else s in
+  List.iter
+    (fun (s : Trace.span) ->
+      line
+        (Json.Obj
+           ([
+              ("type", Json.Str "span");
+              ("id", Json.Num (float_of_int s.Trace.id));
+            ]
+           @ (match s.Trace.parent with
+             | Some p -> [ ("parent", Json.Num (float_of_int p)) ]
+             | None -> [])
+           @ [
+               ("name", Json.Str s.Trace.name);
+               ("lane", Json.Num (float_of_int (lane s.Trace.lane)));
+               ("start_s", Json.Num (time s.Trace.start_s));
+               ("duration_s", Json.Num (time s.Trace.duration_s));
+               ( "attrs",
+                 Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs)
+               );
+             ])))
+    spans;
+  List.iter
+    (fun (name, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "counter");
+             ("name", Json.Str name);
+             ("value", Json.Num (float_of_int v));
+           ]))
+    (Metrics.counters metrics);
+  List.iter
+    (fun (name, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "gauge");
+             ("name", Json.Str name);
+             ("value", Json.Num (if normalize then 0. else v));
+           ]))
+    (Metrics.gauges metrics);
+  List.iter
+    (fun (name, (h : Metrics.histogram)) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "histogram");
+             ("name", Json.Str name);
+             ("count", Json.Num (float_of_int h.Metrics.total));
+             ("sum", Json.Num (if normalize then 0. else h.Metrics.sum));
+           ]))
+    (Metrics.histograms metrics);
+  List.iter
+    (fun (r : Provenance.record) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "provenance");
+             ("cube", Json.Str r.Provenance.cube);
+             ("target", Json.Str r.Provenance.target);
+             ("status", Json.Str (Provenance.status_to_string r.Provenance.status));
+             ("wave", Json.Num (float_of_int r.Provenance.wave));
+             ("attempts", Json.Num (float_of_int r.Provenance.attempts));
+             ( "translate_attempts",
+               Json.Num (float_of_int r.Provenance.translate_attempts) );
+             ( "translate_s",
+               Json.Num (if normalize then 0. else r.Provenance.translate_seconds)
+             );
+             ( "execute_s",
+               Json.Num (if normalize then 0. else r.Provenance.execute_seconds)
+             );
+             ("tgds", Json.List (List.map (fun t -> Json.Str t) r.Provenance.tgds));
+           ]))
+    (Provenance.records provenance);
+  Buffer.contents buf
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "exl_" ^ Bytes.to_string b
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (Metrics.counters metrics);
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (float_repr v)))
+    (Metrics.gauges metrics);
+  List.iter
+    (fun (name, (h : Metrics.histogram)) ->
+      let n = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.Metrics.counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (float_repr bound)
+               !cumulative))
+        h.Metrics.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.total);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" n (float_repr h.Metrics.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.Metrics.total))
+    (Metrics.histograms metrics);
+  Buffer.contents buf

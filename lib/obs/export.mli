@@ -1,0 +1,22 @@
+(** Exporters for the collected telemetry.
+
+    [normalize:true] zeroes every timestamp and duration and renumbers
+    lanes densely in first-appearance order, so exports of a
+    deterministic (sequential) run are byte-stable — the CLI golden
+    tests depend on it. *)
+
+val chrome_trace : ?normalize:bool -> Trace.t -> string
+(** Chrome-trace ("Trace Event Format") JSON, loadable in
+    [chrome://tracing] and Perfetto.  One lane (tid) per OCaml domain,
+    one complete ("ph":"X") event per span, attributes under ["args"]. *)
+
+val jsonl :
+  ?normalize:bool -> Trace.t -> Metrics.t -> Provenance.t -> string
+(** Event log: one JSON object per line — spans (in id order), then
+    counters, gauges and histograms (sorted by name), then provenance
+    records (sorted by cube). *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition format.  Dotted metric names are
+    sanitized ([chase.rounds] -> [exl_chase_rounds]); histograms emit
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)

@@ -1,0 +1,85 @@
+type histogram = {
+  buckets : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable total : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let duration_buckets =
+  [| 1e-5; 1e-4; 1e-3; 1e-2; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 10. |]
+
+let size_buckets = [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. |]
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let count t name n =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some cell -> cell := !cell + n
+      | None -> Hashtbl.replace t.counters name (ref n))
+
+let gauge t name v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some cell -> cell := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let observe ?(buckets = duration_buckets) t name v =
+  with_lock t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                buckets;
+                counts = Array.make (Array.length buckets + 1) 0;
+                sum = 0.;
+                total = 0;
+              }
+            in
+            Hashtbl.replace t.histograms name h;
+            h
+      in
+      let rec slot i =
+        if i >= Array.length h.buckets then i
+        else if v <= h.buckets.(i) then i
+        else slot (i + 1)
+      in
+      let i = slot 0 in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.sum <- h.sum +. v;
+      h.total <- h.total + 1)
+
+let counter_value t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0)
+
+let sorted_alist tbl deref =
+  Hashtbl.fold (fun k v acc -> (k, deref v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = with_lock t (fun () -> sorted_alist t.counters ( ! ))
+let gauges t = with_lock t (fun () -> sorted_alist t.gauges ( ! ))
+
+let histograms t =
+  with_lock t (fun () ->
+      sorted_alist t.histograms (fun h ->
+          { h with counts = Array.copy h.counts }))

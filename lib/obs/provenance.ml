@@ -1,0 +1,65 @@
+type status = Computed | Quarantined | Skipped
+
+type record = {
+  cube : string;
+  tgds : string list;
+  wave : int;
+  target : string;
+  status : status;
+  attempts : int;
+  translate_attempts : int;
+  translate_seconds : float;
+  execute_seconds : float;
+}
+
+type t = { mutex : Mutex.t; mutable records : record list }
+
+let create () = { mutex = Mutex.create (); records = [] }
+
+let add t r =
+  Mutex.lock t.mutex;
+  t.records <- r :: t.records;
+  Mutex.unlock t.mutex
+
+let records t =
+  Mutex.lock t.mutex;
+  let all = t.records in
+  Mutex.unlock t.mutex;
+  List.sort (fun a b -> String.compare a.cube b.cube) all
+
+let status_to_string = function
+  | Computed -> "computed"
+  | Quarantined -> "quarantined"
+  | Skipped -> "skipped"
+
+let report ?(timings = true) t =
+  let buf = Buffer.create 512 in
+  let rs = records t in
+  Buffer.add_string buf
+    (Printf.sprintf "run provenance (%d cube%s):\n" (List.length rs)
+       (if List.length rs = 1 then "" else "s"));
+  List.iter
+    (fun r ->
+      let attempts =
+        match r.status with
+        | Computed ->
+            Printf.sprintf ", %d attempt%s" r.attempts
+              (if r.attempts = 1 then "" else "s")
+        | Quarantined | Skipped -> ""
+      in
+      let clocks =
+        if timings && r.status = Computed then
+          Printf.sprintf ", translate %.1f ms, execute %.1f ms"
+            (r.translate_seconds *. 1000.)
+            (r.execute_seconds *. 1000.)
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s <- %s (%s, wave %d%s%s)\n" r.cube
+           (if r.target = "" then "-" else r.target)
+           (status_to_string r.status) r.wave attempts clocks);
+      List.iter
+        (fun tgd -> Buffer.add_string buf (Printf.sprintf "    tgd: %s\n" tgd))
+        r.tgds)
+    rs;
+  Buffer.contents buf

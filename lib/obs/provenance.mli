@@ -1,0 +1,36 @@
+(** Run provenance: which tgd, target engine, dispatch wave and attempt
+    count produced (or failed to produce) each output cube.
+
+    The paper's production setting (Section 6) demands this kind of
+    accountability: operators of a statistical pipeline must be able to
+    answer "where did this figure come from, and what ran to make it"
+    after every revision. *)
+
+type status = Computed | Quarantined | Skipped
+
+type record = {
+  cube : string;
+  tgds : string list;  (** textual tgds whose target relation is the cube *)
+  wave : int;  (** dispatch wave (stratum) the subgraph ran in *)
+  target : string;  (** target engine that produced the cube *)
+  status : status;
+  attempts : int;  (** execute attempts across all targets tried *)
+  translate_attempts : int;
+  translate_seconds : float;
+  execute_seconds : float;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> record -> unit
+
+val records : t -> record list
+(** Sorted by cube name (deterministic reporting). *)
+
+val status_to_string : status -> string
+
+val report : ?timings:bool -> t -> string
+(** Human-readable report, one block per cube.  [timings:false]
+    (default [true]) suppresses the wall-clock columns so the output is
+    deterministic — used by the CLI golden tests. *)

@@ -1,0 +1,31 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  lane : int;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * string) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable finished : span list;
+  next_id : int Atomic.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); finished = []; next_id = Atomic.make 0 }
+
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+let record t span =
+  Mutex.lock t.mutex;
+  t.finished <- span :: t.finished;
+  Mutex.unlock t.mutex
+
+let spans t =
+  Mutex.lock t.mutex;
+  let all = t.finished in
+  Mutex.unlock t.mutex;
+  List.sort (fun a b -> compare a.id b.id) all

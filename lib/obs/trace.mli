@@ -1,0 +1,30 @@
+(** The span collector: finished spans of one run.
+
+    A span is a named interval on a lane (the OCaml domain that ran
+    it), with a link to the span it was opened under on the same lane
+    and free-form key/value attributes.  Spans are recorded when they
+    {e finish}; ids are allocated at open time, so a parent's id is
+    always smaller than its children's. *)
+
+type span = {
+  id : int;
+  parent : int option;  (** innermost enclosing span on the same lane *)
+  name : string;
+  lane : int;  (** [Domain.self] of the domain that ran the span *)
+  start_s : float;  (** seconds since the collector was created *)
+  duration_s : float;
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_id : t -> int
+(** Allocate the next span id (thread-safe, lock-free). *)
+
+val record : t -> span -> unit
+(** Store a finished span. *)
+
+val spans : t -> span list
+(** All finished spans in id (i.e. open) order. *)

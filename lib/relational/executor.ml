@@ -141,6 +141,7 @@ let invalidate_views views table =
       (fun name _ acc -> if depends [] name then name :: acc else acc)
       views.view_rows []
   in
+  Obs.count ~n:(List.length stale) "executor.view_invalidations";
   List.iter (Hashtbl.remove views.view_rows) stale
 
 let rec execute db lookup (views : view_env) plan : Value.t array list =
@@ -308,8 +309,11 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
 
 and rows_of_view db lookup views name select =
   match Hashtbl.find_opt views.view_rows name with
-  | Some rows -> rows
+  | Some rows ->
+      Obs.count "executor.view_memo_hits";
+      rows
   | None ->
+      Obs.count "executor.view_builds";
       let rows = execute db lookup views (plan_of_select_exn lookup select) in
       Hashtbl.replace views.view_rows name rows;
       rows

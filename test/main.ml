@@ -29,6 +29,8 @@ let () =
       ("vector", Test_vector.suite);
       ("etl", Test_etl.suite);
       ("engine", Test_engine.suite);
+      ("pool", Test_pool.suite);
+      ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("edges", Test_edges.suite);

@@ -765,6 +765,60 @@ let arb_sql_free_plan =
       Engine.Faults.to_string (Engine.Faults.plan ~seed triggers))
     gen
 
+(* --- textual plans, property-tested ---
+
+   [to_string] claims to be a canonical form that [of_string] inverts.
+   Generate plans over the representable surface — dyadic probabilities
+   (printed exactly by %g), single-space-separated messages (the parser
+   rejoins [msg=] words with single spaces), and [Timeout 0.] (timeouts
+   print no message and re-parse with a zero budget). *)
+
+let arb_textual_plan =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let msg_gen =
+        let* words =
+          list_size (1 -- 3) (oneofl [ "flaky"; "link"; "down"; "oom" ])
+        in
+        return (String.concat " " words)
+      in
+      let trigger_gen =
+        let* stage = oneofl [ Engine.Faults.Translate; Engine.Faults.Execute ] in
+        let* target = oneofl [ None; Some "sql"; Some "vector"; Some "etl" ] in
+        let* cube = oneofl [ None; Some "GDP"; Some "B" ] in
+        let* kind =
+          oneof
+            [
+              map (fun m -> Engine.Faults.Translate_error m) msg_gen;
+              map (fun m -> Engine.Faults.Execute_error m) msg_gen;
+              return (Engine.Faults.Timeout 0.);
+              map (fun m -> Engine.Faults.Worker_crash m) msg_gen;
+            ]
+        in
+        let* times = oneofl [ 1; 2; 5; Engine.Faults.always ] in
+        let* probability = oneofl [ 1.0; 0.5; 0.25; 0.75; 0.125 ] in
+        return
+          (Engine.Faults.trigger ?target ?cube ~times ~probability stage kind)
+      in
+      let* seed = 0 -- 1_000_000 in
+      let* triggers = list_size (0 -- 8) trigger_gen in
+      return (Engine.Faults.plan ~seed triggers))
+  in
+  QCheck.make ~print:Engine.Faults.to_string gen
+
+let prop_plan_text_roundtrip =
+  QCheck.Test.make ~count:qcheck_count
+    ~name:"of_string (to_string p) reproduces the plan" arb_textual_plan
+    (fun p ->
+      let text = Engine.Faults.to_string p in
+      match Engine.Faults.of_string text with
+      | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s\n%s" msg text
+      | Ok p' ->
+          Engine.Faults.seed p' = Engine.Faults.seed p
+          && Engine.Faults.triggers p' = Engine.Faults.triggers p
+          && Engine.Faults.to_string p' = text)
+
 let prop_failure_transparency =
   QCheck.Test.make ~count:qcheck_count
     ~name:"faults with a fault-free capable target never change values"
@@ -830,5 +884,6 @@ let suite =
     ("translation: cache not poisoned by injected faults", `Quick, test_translation_cache_not_poisoned);
     ("facade: transparent recovery", `Quick, test_facade_transparent_recovery);
     ("facade: degraded run records no history for dead cubes", `Quick, test_facade_degraded_history);
+    QCheck_alcotest.to_alcotest prop_plan_text_roundtrip;
     QCheck_alcotest.to_alcotest prop_failure_transparency;
   ]
