@@ -107,3 +107,92 @@ let run base_path =
         exit 1
       end
       else print_endline "\nno regressions."
+
+(* --- the incremental-recomputation guard (`bench --guard-incr`) ---
+
+   Re-measures the X11 apply_updates-vs-recompute_all rows against
+   BENCH_PR5.json.  A row regresses when
+
+   - its [facts_rederived] moved more than 25% in either direction
+     (deterministic, so drift is an algorithmic change), or
+   - its incremental speedup fell below the 3x floor the acceptance
+     criterion demands AND below 75% of the baseline speedup — both
+     sides are ratios of wall-clock measured in the same process, so
+     a throttled runner (which slows scratch and incremental alike)
+     cannot fail the build. *)
+
+let speedup_floor = 3.0
+
+type incr_base = {
+  label : string;
+  base_facts_rederived : float;
+  base_speedup : float;
+}
+
+let incr_base_rows json =
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Obs.Json.member "label" entry) Obs.Json.string_value,
+          Option.bind (Obs.Json.member "facts_rederived" entry) Obs.Json.number,
+          Option.bind (Obs.Json.member "speedup" entry) Obs.Json.number )
+      with
+      | Some label, Some base_facts_rederived, Some base_speedup ->
+          Some { label; base_facts_rederived; base_speedup }
+      | _ -> None)
+    (match Obs.Json.member "incr" json with
+    | Some rows -> Obs.Json.elements rows
+    | None -> [])
+
+let run_incr base_path =
+  match Obs.Json.parse (read_file base_path) with
+  | Error msg ->
+      Printf.eprintf "guard-incr: cannot parse %s: %s\n" base_path msg;
+      exit 1
+  | Ok json ->
+      let base = incr_base_rows json in
+      if base = [] then begin
+        Printf.eprintf "guard-incr: no incr rows in %s\n" base_path;
+        exit 1
+      end;
+      Printf.printf
+        "incremental regression guard vs %s (tolerance %.0f%%, speedup floor \
+         %.1fx)\n\n"
+        base_path (tolerance *. 100.) speedup_floor;
+      let current = Experiments.incr_rows () in
+      let failures = ref 0 in
+      let check row =
+        match
+          List.find_opt
+            (fun (c : Experiments.incr_row) -> c.Experiments.label = row.label)
+            current
+        with
+        | None ->
+            incr failures;
+            Printf.printf "  FAIL %-36s row no longer measured\n" row.label
+        | Some c ->
+            let cur_facts = float_of_int c.Experiments.facts_rederived in
+            let cur_speedup = c.Experiments.incr_speedup in
+            let facts_ok =
+              cur_facts <= row.base_facts_rederived *. (1. +. tolerance)
+              && cur_facts >= row.base_facts_rederived *. (1. -. tolerance)
+            in
+            let speedup_ok =
+              cur_speedup >= speedup_floor
+              || cur_speedup >= row.base_speedup *. (1. -. tolerance)
+            in
+            if not (facts_ok && speedup_ok) then incr failures;
+            Printf.printf
+              "  %s %-36s rederived %.0f -> %.0f%s; speedup %.2fx -> %.2fx%s\n"
+              (if facts_ok && speedup_ok then "ok  " else "FAIL")
+              row.label row.base_facts_rederived cur_facts
+              (if facts_ok then "" else " (moved > tolerance)")
+              row.base_speedup cur_speedup
+              (if speedup_ok then "" else " (below floor and baseline)")
+      in
+      List.iter check base;
+      if !failures > 0 then begin
+        Printf.printf "\n%d row(s) regressed.\n" !failures;
+        exit 1
+      end
+      else print_endline "\nno regressions."

@@ -176,6 +176,37 @@ let run_json path =
   Printf.printf "wrote %s\n" path;
   Experiments.print_chase_rows chase
 
+(* --- incremental-recomputation baseline (BENCH_PR5.json) --- *)
+
+let run_json_incr path =
+  let rows = Experiments.incr_rows () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"pr\": 5,\n  \"incr\": [\n";
+  List.iteri
+    (fun i (r : Experiments.incr_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"batch\": %d,\n\
+           \     \"scratch_seconds\": %s, \"incr_seconds\": %s, \"speedup\": \
+            %s,\n\
+           \     \"facts_rederived\": %d, \"total_facts\": %d,\n\
+           \     \"strata_skipped\": %d, \"strata_rederived\": %d}%s\n"
+           (json_escape r.Experiments.label)
+           r.Experiments.batch
+           (json_float r.Experiments.scratch_seconds)
+           (json_float r.Experiments.incr_seconds)
+           (json_float r.Experiments.incr_speedup)
+           r.Experiments.facts_rederived r.Experiments.total_facts
+           r.Experiments.strata_skipped r.Experiments.strata_rederived
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Experiments.print_incr_rows rows
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -189,12 +220,19 @@ let () =
   | _ :: "x8" :: _ -> Experiments.x8 ()
   | _ :: "x9" :: _ -> Experiments.x9 ()
   | _ :: "x10" :: _ -> Experiments.x10 ()
+  | _ :: "x11" :: _ -> Experiments.x11 ()
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "--json" :: rest ->
       run_json (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
   | _ :: "--guard" :: rest ->
       Baseline.run
         (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
+  | _ :: "--json-incr" :: rest ->
+      run_json_incr
+        (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
+  | _ :: "--guard-incr" :: rest ->
+      Baseline.run_incr
+        (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
   | _ ->
       print_endline "EXLEngine benchmark harness (see EXPERIMENTS.md)";
       Experiments.all ();

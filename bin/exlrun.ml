@@ -211,6 +211,88 @@ let run file data_dir out_dir backend verify overrides fault_plan max_attempts
     code
   end
 
+(* [exlrun update]: recompute a baseline, then apply a batched revision
+   file and propagate it incrementally through the determination DAG
+   (docs/INCREMENTAL.md). *)
+let run_update file data_dir updates_file out_dir =
+  let source = read_file file in
+  match Exl.Program.load source with
+  | Error e ->
+      prerr_endline ("error: " ^ Exl.Errors.to_string_with_source ~source e);
+      1
+  | Ok program -> (
+      match load_data data_dir program with
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          1
+      | Ok registry -> (
+          let engine = Engine.Exlengine.create () in
+          let prepared =
+            match Engine.Exlengine.register_program engine ~name:"main" source with
+            | Error _ as e -> e
+            | Ok () -> (
+                let rec load = function
+                  | [] -> Ok ()
+                  | name :: rest -> (
+                      match
+                        Engine.Exlengine.load_elementary engine
+                          (Registry.find_exn registry name)
+                      with
+                      | Ok () -> load rest
+                      | Error _ as e -> e)
+                in
+                match load (Registry.names registry) with
+                | Error _ as e -> e
+                | Ok () -> (
+                    match Engine.Exlengine.recompute engine with
+                    | Error _ as e -> e
+                    | Ok baseline -> (
+                        (* Warm the solution cache so the batch below
+                           propagates incrementally. *)
+                        match Engine.Exlengine.warm engine with
+                        | Error _ as e -> e
+                        | Ok () -> Ok baseline)))
+          in
+          match prepared with
+          | Error msg ->
+              prerr_endline ("error: " ^ msg);
+              1
+          | Ok baseline -> (
+              Printf.printf "baseline: recomputed %s\n"
+                (String.concat " " baseline.Engine.Dispatcher.recomputed);
+              let schema_of =
+                Engine.Determination.schema
+                  (Engine.Exlengine.determination engine)
+              in
+              match
+                Engine.Update.of_string ~schema_of (read_file updates_file)
+              with
+              | Error msg ->
+                  prerr_endline
+                    (Printf.sprintf "error: %s: %s" updates_file msg);
+                  1
+              | Ok updates -> (
+                  match Engine.Exlengine.apply_updates engine updates with
+                  | Error msg ->
+                      prerr_endline ("error: " ^ msg);
+                      1
+                  | Ok r ->
+                      Printf.printf "updated: %s (%d fact(s) changed)\n"
+                        (String.concat " " r.Engine.Exlengine.updated)
+                        r.Engine.Exlengine.facts_changed;
+                      Printf.printf "recomputed: %s\n"
+                        (String.concat " " r.Engine.Exlengine.recomputed);
+                      Printf.printf
+                        "rederived %d of %d facts (strata: %d skipped, %d \
+                         rederived)\n"
+                        r.Engine.Exlengine.facts_rederived
+                        r.Engine.Exlengine.total_facts
+                        r.Engine.Exlengine.strata_skipped
+                        r.Engine.Exlengine.strata_rederived;
+                      write_results out_dir program
+                        (Engine.Exlengine.store engine);
+                      0))))
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
 
@@ -322,6 +404,15 @@ let normalize_arg =
           "Zero all timestamps and durations in telemetry outputs (for \
            byte-deterministic golden tests).")
 
+let updates_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "u"; "updates" ] ~docv:"FILE"
+        ~doc:
+          "Update-batch file: one $(b,set CUBE key... value) or \
+           $(b,del CUBE key...) per line ($(b,#) comments allowed).")
+
 let cmd =
   let doc = "run EXL statistical programs against CSV data" in
   Cmd.v
@@ -332,4 +423,21 @@ let cmd =
       $ timeout_arg $ trace_arg $ metrics_arg $ events_arg $ provenance_arg
       $ normalize_arg)
 
-let () = exit (Cmd.eval' cmd)
+let update_cmd =
+  let doc =
+    "apply a batched elementary-data revision and incrementally recompute \
+     exactly the affected derived cubes"
+  in
+  Cmd.v
+    (Cmd.info "exlrun update" ~doc)
+    Term.(const run_update $ file_arg $ data_arg $ updates_arg $ out_arg)
+
+(* [exlrun update …] dispatches to the update subcommand; anything else
+   keeps the historical positional interface ([exlrun file.exl --data]),
+   which a command group would shadow. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "update" then
+    let rest = Array.sub argv 2 (Array.length argv - 2) in
+    exit (Cmd.eval' ~argv:(Array.append [| "exlrun update" |] rest) update_cmd)
+  else exit (Cmd.eval' cmd)

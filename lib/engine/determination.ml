@@ -144,7 +144,13 @@ let dependents_of t name =
 
 let derived_order t = List.rev t.derived_rev
 
-let affected t ~changed =
+type dirty_set = {
+  changed_elementary : string list;
+  changed_derived : string list;
+  dirty_derived : string list;
+}
+
+let dirty_set t ~changed =
   let dirty = Hashtbl.create 16 in
   let rec mark name =
     if not (Hashtbl.mem dirty name) then begin
@@ -154,12 +160,30 @@ let affected t ~changed =
     end
   in
   List.iter mark changed;
-  List.filter
-    (fun cube ->
-      Hashtbl.mem dirty cube
-      && (kind t cube = Some Registry.Derived || List.mem cube changed)
-         && Hashtbl.mem t.stmts cube)
-    (derived_order t)
+  let of_kind k =
+    List.sort_uniq String.compare
+      (List.filter (fun c -> kind t c = Some k) changed)
+  in
+  (* An explicitly changed cube is an input of the propagation, never a
+     member of the recomputation set: its new content *is* the change
+     (recomputing it from its unchanged sources would overwrite exactly
+     what the caller just loaded).  Its transitive dependents are what
+     must be rederived. *)
+  let dirty_derived =
+    List.filter
+      (fun cube ->
+        Hashtbl.mem dirty cube
+        && (not (List.mem cube changed))
+        && Hashtbl.mem t.stmts cube)
+      (derived_order t)
+  in
+  {
+    changed_elementary = of_kind Registry.Elementary;
+    changed_derived = of_kind Registry.Derived;
+    dirty_derived;
+  }
+
+let affected t ~changed = (dirty_set t ~changed).dirty_derived
 
 let build_program t ~cubes:selected =
   let selected_set = Hashtbl.create 16 in

@@ -40,9 +40,31 @@ val derived_order : t -> string list
 (** All derived cubes in global definition order (a topological
     order). *)
 
+type dirty_set = {
+  changed_elementary : string list;
+      (** Elementary cubes the caller reported as changed (sorted). *)
+  changed_derived : string list;
+      (** Derived cubes the caller reported as changed (sorted) — e.g.
+          restored from an external store.  Their new content {e is}
+          the change, so they are inputs of the propagation, not
+          members of [dirty_derived]. *)
+  dirty_derived : string list;
+      (** Derived cubes to recompute: the transitive dependents of all
+          changed cubes (minus the changed cubes themselves), in
+          topological order. *)
+}
+
+val dirty_set : t -> changed:string list -> dirty_set
+(** Classify a change set: which reported cubes are elementary vs
+    derived, and which derived cubes must be recomputed as a
+    consequence.  An explicitly changed derived cube is never in
+    [dirty_derived] — recomputing it from its (unchanged) sources would
+    overwrite exactly the data that changed. *)
+
 val affected : t -> changed:string list -> string list
-(** Derived cubes that (transitively) depend on any changed cube, in
-    topological order — the recomputation set. *)
+(** [dirty_derived] of {!dirty_set}: derived cubes that (transitively)
+    depend on any changed cube — excluding the changed cubes
+    themselves — in topological order; the recomputation set. *)
 
 val build_program :
   t -> cubes:string list -> (Exl.Typecheck.checked, string) result

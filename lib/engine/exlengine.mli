@@ -50,6 +50,49 @@ val recompute_all :
   ?as_of:Calendar.Date.t -> t -> (Dispatcher.report, string) result
 (** Recompute every derived cube regardless of the dirty set. *)
 
+type update_report = {
+  updated : string list;
+      (** Elementary cubes with a net change after batch compaction
+          (sorted). *)
+  recomputed : string list;
+      (** Derived cubes invalidated and recomputed — the dirty set of
+          {!Determination.dirty_set}, in topological order. *)
+  facts_changed : int;
+      (** Net elementary facts added plus removed by the batch. *)
+  facts_rederived : int;
+      (** Facts (re)derived while propagating the change. *)
+  total_facts : int;  (** Facts in the full solution, for comparison. *)
+  cache_hit : bool;
+      (** Whether the propagation ran incrementally against the cached
+          solution ([true]) or had to rebuild it from scratch. *)
+  strata_skipped : int;  (** Chase strata no delta reached. *)
+  strata_rederived : int;  (** Strata rebuilt DRed-style. *)
+}
+
+val warm : t -> (unit, string) result
+(** Eagerly build the incremental solution cache (one full semi-naive
+    chase over the current store), so the next {!apply_updates} batch
+    propagates incrementally instead of rebuilding.  A no-op when the
+    cache is already warm. *)
+
+val apply_updates :
+  ?as_of:Calendar.Date.t -> t -> Update.t list -> (update_report, string) result
+(** Apply a batch of elementary-cube updates and incrementally
+    recompute exactly the affected derived cubes.
+
+    The whole batch is validated first (unknown cube, derived cube,
+    key/measure domain mismatch ⇒ [Error], store untouched), then
+    applied to the store and compacted to net per-key fact deltas
+    (updates that cancel out propagate nothing).  The dirty derived set
+    comes from {!Determination.dirty_set}; propagation seeds
+    {!Exchange.Chase.incremental} with the fact deltas against the
+    cached solution of the previous batch, or falls back to one full
+    semi-naive chase when no cached solution exists (first batch, or
+    after {!load_elementary} / {!register_program} / {!load_store}
+    invalidated it).  Affected cubes get a new dated version in the
+    history; unaffected cubes keep theirs, so {!cube_as_of} still
+    answers for both.  An empty batch is a no-op. *)
+
 val save_store : t -> dir:string -> (unit, string) result
 (** Persist the central cube store (elementary and derived) to a
     directory via {!Matrix.Store}. *)

@@ -1,0 +1,35 @@
+open Matrix
+
+(** Batched elementary-cube updates (the input of
+    {!Exlengine.apply_updates}).
+
+    The on-disk form is a line-based text format, one update per line:
+
+    {v
+    # revise two daily observations, retract a third
+    set PDR 2019-03-14 r001 1012000.5
+    set PDR 2019-03-15 r001 1012012.5
+    del PDR 2019-03-16 r001
+    v}
+
+    [set] upserts the measure at a key (dimension values in schema
+    order); [del] retracts the key.  Blank lines and [#] comments are
+    ignored.  Values are parsed like CSV cells ({!Matrix.Value}'s
+    guessing rules) and validated against the cube's registered schema,
+    so a batch either parses completely or reports the first bad
+    line. *)
+
+type action = Set of Value.t | Remove
+type t = { cube : string; key : Value.t list; action : action }
+
+val set : cube:string -> key:Value.t list -> Value.t -> t
+val remove : cube:string -> key:Value.t list -> t
+
+val of_string :
+  schema_of:(string -> Schema.t option) -> string -> (t list, string) result
+(** Parse a batch, resolving each cube's schema through [schema_of]
+    (typically {!Determination.schema}); [Error] names the first
+    offending line. *)
+
+val to_string : t -> string
+(** One line in the text format ([of_string]-compatible). *)

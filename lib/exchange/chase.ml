@@ -276,6 +276,37 @@ let apply_tuple_level ~matcher ~out instance stats on_new lhs (rhs : Tgd.atom) =
       if List.for_all Option.is_some values then
         emit_fact out stats on_new rhs.Tgd.rel (List.map Option.get values))
 
+(* Bind one source fact of an aggregation tgd to its (group key,
+   measure) contribution; [None] when the fact does not match the
+   source atom's constants.  Shared by the full evaluation and the
+   group-scoped incremental path, which must classify delta facts
+   exactly the way the full run binned them. *)
+let agg_classify (source : Tgd.atom) group_by measure fact =
+  match match_fact Binding.empty [] source.Tgd.args fact with
+  | None -> None
+  | Some (binding, deferred) ->
+      if deferred <> [] then
+        raise (Chase_error "aggregation source atom must use variables");
+      let key_values =
+        List.map
+          (fun t ->
+            match Binding.term_value binding t with
+            | Some v -> v
+            | None ->
+                raise
+                  (Chase_error
+                     (Printf.sprintf
+                        "group-by term %s undefined on a source tuple"
+                        (Term.to_string t))))
+          group_by
+      in
+      let m =
+        match Option.bind (Binding.lookup binding measure) Value.to_float with
+        | Some f -> f
+        | None -> raise (Chase_error "aggregation measure is not numeric")
+      in
+      Some (Tuple.of_list key_values, m)
+
 let apply_aggregation ~out instance stats on_new (source : Tgd.atom) group_by
     aggr measure target =
   let groups : float list ref Tuple.Table.t = Tuple.Table.create 64 in
@@ -283,34 +314,10 @@ let apply_aggregation ~out instance stats on_new (source : Tgd.atom) group_by
   List.iter
     (fun fact ->
       stats.matches_examined <- stats.matches_examined + 1;
-      match match_fact Binding.empty [] source.Tgd.args fact with
+      match agg_classify source group_by measure fact with
       | None -> ()
-      | Some (binding, deferred) ->
-          if deferred <> [] then
-            raise (Chase_error "aggregation source atom must use variables");
-          let key_values =
-            List.map
-              (fun t ->
-                match Binding.term_value binding t with
-                | Some v -> v
-                | None ->
-                    raise
-                      (Chase_error
-                         (Printf.sprintf
-                            "group-by term %s undefined on a source tuple"
-                            (Term.to_string t))))
-              group_by
-          in
-          let key = Tuple.of_list key_values in
-          let m =
-            match
-              Option.bind (Binding.lookup binding measure) Value.to_float
-            with
-            | Some f -> f
-            | None ->
-                raise (Chase_error "aggregation measure is not numeric")
-          in
-          (match Tuple.Table.find_opt groups key with
+      | Some (key, m) -> (
+          match Tuple.Table.find_opt groups key with
           | Some bag -> bag := m :: !bag
           | None ->
               Tuple.Table.replace groups key (ref [ m ]);
@@ -592,6 +599,81 @@ let apply_tgd_delta instance tgd stats on_new ~delta_of ~delta_set =
             stats.tgds_applied <- stats.tgds_applied + 1
           end)
 
+(* Delta-round fixpoint loop shared by [run_stratum] (rounds >= 2 of a
+   full evaluation) and the incremental entry point (where the seed
+   delta is the caller's change set, not round one's output).  [on_new]
+   additionally observes every fact emitted across all rounds. *)
+let delta_rounds ?(on_new = fun _ _ -> ()) instance stats stratum seed
+    start_round =
+  let record tbl rel fact =
+    Hashtbl.replace tbl rel
+      (fact :: Option.value ~default:[] (Hashtbl.find_opt tbl rel))
+  in
+  let max_rounds = start_round + List.length stratum + 8 in
+  let rec loop deltas round =
+    if Hashtbl.length deltas = 0 then Ok ()
+    else if round > max_rounds then
+      Error "chase stratum did not reach a fixpoint"
+    else begin
+      stats.rounds <- stats.rounds + 1;
+      let delta_total =
+        Hashtbl.fold (fun _ l acc -> acc + List.length l) deltas 0
+      in
+      Obs.observe ~buckets:Obs.Metrics.size_buckets "chase.delta_facts"
+        (float_of_int delta_total);
+      let outcome =
+        Obs.with_span "chase.round"
+          ~attrs:
+            [
+              ("round", string_of_int round);
+              ("delta_facts", string_of_int delta_total);
+            ]
+          (fun () ->
+            let next : (string, Instance.fact list) Hashtbl.t =
+              Hashtbl.create 8
+            in
+            let delta_of rel =
+              Option.value ~default:[] (Hashtbl.find_opt deltas rel)
+            in
+            let sets : (string, unit Tuple.Table.t) Hashtbl.t =
+              Hashtbl.create 8
+            in
+            let delta_set rel =
+              match Hashtbl.find_opt sets rel with
+              | Some s -> s
+              | None ->
+                  let s = Tuple.Table.create 16 in
+                  List.iter
+                    (fun f -> Tuple.Table.replace s (Tuple.of_array f) ())
+                    (delta_of rel);
+                  Hashtbl.replace sets rel s;
+                  s
+            in
+            let emit rel fact =
+              record next rel fact;
+              on_new rel fact
+            in
+            let rec apply_all = function
+              | [] -> Ok ()
+              | tgd :: rest -> (
+                  match
+                    apply_tgd_delta instance tgd stats emit ~delta_of ~delta_set
+                  with
+                  | Error msg ->
+                      Error
+                        (Printf.sprintf "chase failed on tgd [%s]: %s"
+                           (Tgd.to_string tgd) msg)
+                  | Ok () -> apply_all rest)
+            in
+            match apply_all stratum with
+            | Error _ as e -> e
+            | Ok () -> Ok next)
+      in
+      match outcome with Error _ as e -> e | Ok next -> loop next (round + 1)
+    end
+  in
+  loop seed start_round
+
 let run_stratum ~executor instance stats stratum =
   (* Pre-build every persistent index round one will probe, so the
      parallel phase only ever reads the shared relations. *)
@@ -671,80 +753,19 @@ let run_stratum ~executor instance stats stratum =
          nothing (a stratum's sources live strictly below it), so this
          terminates immediately; for unstratifiable tgd sets it is a
          genuine fixpoint loop. *)
-      let max_rounds = List.length stratum + 8 in
-      let rec loop deltas round =
-        if Hashtbl.length deltas = 0 then Ok ()
-        else if round > max_rounds then
-          Error "chase stratum did not reach a fixpoint"
-        else begin
-          stats.rounds <- stats.rounds + 1;
-          let delta_total =
-            Hashtbl.fold (fun _ l acc -> acc + List.length l) deltas 0
-          in
-          Obs.observe ~buckets:Obs.Metrics.size_buckets "chase.delta_facts"
-            (float_of_int delta_total);
-          let outcome =
-            Obs.with_span "chase.round"
-              ~attrs:
-                [
-                  ("round", string_of_int round);
-                  ("delta_facts", string_of_int delta_total);
-                ]
-              (fun () ->
-                let next : (string, Instance.fact list) Hashtbl.t =
-                  Hashtbl.create 8
-                in
-                let delta_of rel =
-                  Option.value ~default:[] (Hashtbl.find_opt deltas rel)
-                in
-                let sets : (string, unit Tuple.Table.t) Hashtbl.t =
-                  Hashtbl.create 8
-                in
-                let delta_set rel =
-                  match Hashtbl.find_opt sets rel with
-                  | Some s -> s
-                  | None ->
-                      let s = Tuple.Table.create 16 in
-                      List.iter
-                        (fun f -> Tuple.Table.replace s (Tuple.of_array f) ())
-                        (delta_of rel);
-                      Hashtbl.replace sets rel s;
-                      s
-                in
-                let rec apply_all = function
-                  | [] -> Ok ()
-                  | tgd :: rest -> (
-                      match
-                        apply_tgd_delta instance tgd stats (record next)
-                          ~delta_of ~delta_set
-                      with
-                      | Error msg ->
-                          Error
-                            (Printf.sprintf "chase failed on tgd [%s]: %s"
-                               (Tgd.to_string tgd) msg)
-                      | Ok () -> apply_all rest)
-                in
-                match apply_all stratum with
-                | Error _ as e -> e
-                | Ok () -> Ok next)
-          in
-          match outcome with
-          | Error _ as e -> e
-          | Ok next -> loop next (round + 1)
-        end
-      in
-      loop deltas 2
+      delta_rounds instance stats stratum deltas 2
+
+let strata_of (m : Mappings.Mapping.t) =
+  match Mappings.Stratify.check m with
+  | Ok () -> Mappings.Stratify.strata m
+  | Error _ -> (
+      (* Unstratifiable (or mis-ordered) tgd sets run as one big
+         stratum: round one follows statement order, the delta rounds
+         then compute the actual fixpoint. *)
+      match m.Mappings.Mapping.t_tgds with [] -> [] | tgds -> [ tgds ])
 
 let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
-  let strata =
-    match Mappings.Stratify.check m with
-    | Ok () -> Mappings.Stratify.strata m
-    | Error _ -> (
-        (* Unstratifiable (or mis-ordered) tgd sets run as one big
-           stratum: round one follows statement order, the delta rounds
-           then compute the actual fixpoint. *)
-        match m.Mappings.Mapping.t_tgds with [] -> [] | tgds -> [ tgds ])
-  in
+  let strata = strata_of m in
   let rec loop i = function
     | [] -> Ok ()
     | stratum :: rest -> (
@@ -828,3 +849,502 @@ let run ?(check_egds = true) ?(mode = Semi_naive)
         Obs.count ~n:(lookups1 - lookups0) "chase.index_lookups"
       end;
       Result.map (fun () -> (target, stats)) result
+
+(* ----- incremental re-evaluation from fact deltas ----- *)
+
+type fact_delta = { added : Instance.fact list; removed : Instance.fact list }
+
+let empty_delta = { added = []; removed = [] }
+
+type incr_stats = {
+  mutable input_facts : int;
+  mutable strata_total : int;
+  mutable strata_skipped : int;
+  mutable strata_delta : int;
+  mutable strata_rederived : int;
+  mutable facts_rederived : int;
+}
+
+let empty_incr_stats () =
+  {
+    input_facts = 0;
+    strata_total = 0;
+    strata_skipped = 0;
+    strata_delta = 0;
+    strata_rederived = 0;
+    facts_rederived = 0;
+  }
+
+(* The tgds of [stratum] that must re-run: a tgd is selected when a
+   source relation carries a delta, when a source is the target of an
+   already selected tgd (intra-stratum feeding happens only in the
+   unstratifiable single-stratum fallback), or when its target will be
+   cleared by the rederivation of another selected tgd (shared targets
+   must be rebuilt together or facts would be lost). *)
+let select_touched stratum ~touched =
+  let tgds = Array.of_list stratum in
+  let selected = Array.make (Array.length tgds) false in
+  let target_selected rel =
+    Array.exists2
+      (fun s tgd -> s && Tgd.target_relation tgd = rel)
+      selected tgds
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i tgd ->
+        if not selected.(i) then
+          let sources = Tgd.source_relations tgd in
+          if
+            List.exists touched sources
+            || List.exists target_selected sources
+            || target_selected (Tgd.target_relation tgd)
+          then begin
+            selected.(i) <- true;
+            changed := true
+          end)
+      tgds
+  done;
+  Array.to_list tgds
+  |> List.filteri (fun i _ -> selected.(i))
+
+(* Insert-only tuple-level strata: seed the semi-naive delta loop with
+   the input delta facts (already present in the instance) and let the
+   pivot/Full/Old decomposition derive exactly the new consequences. *)
+let incr_delta_stratum instance stats istats selected seed =
+  List.iter
+    (fun tgd ->
+      match tgd with
+      | Tgd.Tuple_level { lhs; _ } ->
+          List.iter
+            (fun (rel, positions) -> Instance.ensure_index instance rel positions)
+            (index_needs lhs)
+      | _ -> ())
+    selected;
+  let out : (string, Instance.fact list) Hashtbl.t = Hashtbl.create 8 in
+  let on_new rel fact =
+    istats.facts_rederived <- istats.facts_rederived + 1;
+    Hashtbl.replace out rel
+      (fact :: Option.value ~default:[] (Hashtbl.find_opt out rel))
+  in
+  match delta_rounds ~on_new instance stats selected seed 1 with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        (Hashtbl.fold
+           (fun rel added acc -> (rel, { added; removed = [] }) :: acc)
+           out [])
+
+(* DRed-style stratum rederivation, for deletions and for strata whose
+   tgds are not delta-decomposable (aggregation, blackbox, outer
+   combine): over-delete the touched targets entirely, re-run the
+   touched tgds from their (already updated) sources, then diff old vs
+   new facts to get a compact delta for the strata above. *)
+let incr_rederive_stratum ~executor instance stats istats selected =
+  let targets =
+    List.sort_uniq String.compare (List.map Tgd.target_relation selected)
+  in
+  let old =
+    List.map
+      (fun rel ->
+        let tbl : unit Tuple.Table.t = Tuple.Table.create 64 in
+        let facts = ref [] in
+        Instance.iter_facts instance rel (fun f ->
+            Tuple.Table.replace tbl (Tuple.of_array f) ();
+            facts := f :: !facts);
+        (rel, tbl, !facts))
+      targets
+  in
+  List.iter (fun rel -> Instance.clear instance rel) targets;
+  match run_stratum ~executor instance stats selected with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        (List.filter_map
+           (fun (rel, old_tbl, old_facts) ->
+             let added = ref [] in
+             Instance.iter_facts instance rel (fun f ->
+                 istats.facts_rederived <- istats.facts_rederived + 1;
+                 if not (Tuple.Table.mem old_tbl (Tuple.of_array f)) then
+                   added := f :: !added);
+             let removed =
+               List.filter (fun f -> not (Instance.mem instance rel f)) old_facts
+             in
+             if !added = [] && removed = [] then None
+             else Some (rel, { added = !added; removed }))
+           old)
+
+(* ----- group-scoped aggregation rederivation ----- *)
+
+(* Per-aggregation-tgd incremental state: each group key maps to the
+   multiset of measures currently contributing to it.  Built with one
+   full source scan the first time a batch touches the tgd and
+   maintained by deltas afterwards, so steady-state batches
+   re-aggregate only the groups their delta facts fall in instead of
+   rescanning the whole source relation DRed-style.  Bags accumulate
+   newest-first and are reversed before [Stats.Aggregate.apply], so
+   sums may re-associate relative to a from-scratch run — callers
+   comparing solutions must use an epsilon. *)
+type agg_bags = float list ref Tuple.Table.t
+
+type incr_state = (string, agg_bags) Hashtbl.t
+(* Keyed by [Tgd.to_string], stable for the lifetime of a mapping. *)
+
+let create_incr_state () : incr_state = Hashtbl.create 8
+
+let fact_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
+  !ok
+
+(* Float.compare so a NaN measure still finds its bag entry. *)
+let remove_once bag m =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if Float.compare x m = 0 then List.rev_append acc rest
+        else go (x :: acc) rest
+  in
+  go [] bag
+
+let build_agg_bags instance stats (source : Tgd.atom) group_by measure =
+  let bags : agg_bags = Tuple.Table.create 64 in
+  Instance.iter_facts instance source.Tgd.rel (fun fact ->
+      stats.matches_examined <- stats.matches_examined + 1;
+      match agg_classify source group_by measure fact with
+      | None -> ()
+      | Some (key, m) -> (
+          match Tuple.Table.find_opt bags key with
+          | Some bag -> bag := m :: !bag
+          | None -> Tuple.Table.replace bags key (ref [ m ])));
+  bags
+
+(* One aggregation tgd, group-scoped: update the measure bags with the
+   source delta, re-aggregate only the affected groups and replace
+   their target facts in place.  When the bags were just built
+   ([fresh]) the source already includes the delta, so the delta facts
+   only name the affected groups.  Returns the compact target delta. *)
+let incr_agg_tgd instance stats istats bags ~fresh (source : Tgd.atom) group_by
+    aggr measure target ~(delta : fact_delta) =
+  let affected : unit Tuple.Table.t = Tuple.Table.create 8 in
+  let classify fact =
+    stats.matches_examined <- stats.matches_examined + 1;
+    agg_classify source group_by measure fact
+  in
+  List.iter
+    (fun fact ->
+      match classify fact with
+      | None -> ()
+      | Some (key, m) ->
+          Tuple.Table.replace affected key ();
+          if not fresh then (
+            match Tuple.Table.find_opt bags key with
+            | Some bag ->
+                bag := remove_once !bag m;
+                if !bag = [] then Tuple.Table.remove bags key
+            | None -> ()))
+    delta.removed;
+  List.iter
+    (fun fact ->
+      match classify fact with
+      | None -> ()
+      | Some (key, m) ->
+          Tuple.Table.replace affected key ();
+          if not fresh then (
+            match Tuple.Table.find_opt bags key with
+            | Some bag -> bag := m :: !bag
+            | None -> Tuple.Table.replace bags key (ref [ m ])))
+    delta.added;
+  let key_positions = List.init (List.length group_by) Fun.id in
+  Instance.ensure_index instance target key_positions;
+  let added = ref [] and removed = ref [] in
+  Tuple.Table.iter
+    (fun key () ->
+      let old_facts =
+        Instance.lookup_index instance target key_positions (Tuple.to_list key)
+      in
+      let next =
+        match Tuple.Table.find_opt bags key with
+        | None -> None
+        | Some bag ->
+            let result = Stats.Aggregate.apply aggr (List.rev !bag) in
+            if Float.is_nan result then None
+            else
+              Some
+                (Array.of_list (Tuple.to_list key @ [ Value.of_float result ]))
+      in
+      List.iter
+        (fun old ->
+          let keep =
+            match next with Some f -> fact_equal old f | None -> false
+          in
+          if (not keep) && Instance.remove instance target old then
+            removed := old :: !removed)
+        old_facts;
+      match next with
+      | Some f ->
+          if Instance.insert instance target f then begin
+            stats.tuples_generated <- stats.tuples_generated + 1;
+            istats.facts_rederived <- istats.facts_rederived + 1;
+            added := f :: !added
+          end
+      | None -> ())
+    affected;
+  { added = !added; removed = !removed }
+
+let incremental ?(check_egds = true) ?(executor = sequential_executor) ?state
+    (m : Mappings.Mapping.t) ~solution ~deltas =
+  match !static_check m with
+  | Error msg -> Error ("static check failed before chase: " ^ msg)
+  | Ok () -> (
+      let unknown =
+        List.filter (fun (rel, _) -> Instance.schema solution rel = None) deltas
+      in
+      match unknown with
+      | (rel, _) :: _ ->
+          Error
+            (Printf.sprintf
+               "incremental chase: relation %s is not part of the solution" rel)
+      | [] ->
+          let stats = empty_stats () in
+          let istats = empty_incr_stats () in
+          (* Net change map, grown stratum by stratum as deltas
+             propagate upward. *)
+          let current : (string, fact_delta) Hashtbl.t = Hashtbl.create 16 in
+          let merge rel d =
+            if d.added <> [] || d.removed <> [] then
+              let prev =
+                Option.value ~default:empty_delta (Hashtbl.find_opt current rel)
+              in
+              Hashtbl.replace current rel
+                {
+                  added = d.added @ prev.added;
+                  removed = d.removed @ prev.removed;
+                }
+          in
+          (* Apply the input deltas to the previous solution; only
+             facts genuinely removed/added (set semantics) propagate. *)
+          List.iter
+            (fun (rel, d) ->
+              let removed =
+                List.filter (fun f -> Instance.remove solution rel f) d.removed
+              in
+              let added =
+                List.filter (fun f -> Instance.insert solution rel f) d.added
+              in
+              merge rel { added; removed })
+            deltas;
+          istats.input_facts <-
+            Hashtbl.fold
+              (fun _ d acc ->
+                acc + List.length d.added + List.length d.removed)
+              current 0;
+          let touched rel = Hashtbl.mem current rel in
+          let delta_removed rel =
+            match Hashtbl.find_opt current rel with
+            | Some d -> d.removed <> []
+            | None -> false
+          in
+          let builds0, lookups0 = Instance.index_stats () in
+          let run_stratum_incr i stratum =
+            istats.strata_total <- istats.strata_total + 1;
+            let selected = select_touched stratum ~touched in
+            if selected = [] then begin
+              istats.strata_skipped <- istats.strata_skipped + 1;
+              Obs.count "chase.incr.strata_skipped";
+              Ok []
+            end
+            else begin
+              (* Per-tgd plan.  Insert-only tuple-level tgds replay
+                 seeded delta rounds; aggregations with persistent
+                 state re-aggregate affected groups; everything else
+                 (tuple-level deletions, blackbox, outer combine, and
+                 any tgd in a self-feeding fallback stratum) rederives
+                 DRed-style.  A tgd sharing a target with a rederived
+                 tgd must rederive too, or the target clear would lose
+                 its facts. *)
+              let stratum_targets =
+                List.sort_uniq String.compare
+                  (List.map Tgd.target_relation stratum)
+              in
+              let feeding =
+                List.exists
+                  (fun tgd ->
+                    List.exists
+                      (fun s -> List.mem s stratum_targets)
+                      (Tgd.source_relations tgd))
+                  selected
+              in
+              let plan_of tgd =
+                if feeding then `Rederive
+                else
+                  match tgd with
+                  | Tgd.Tuple_level _
+                    when not
+                           (List.exists delta_removed
+                              (Tgd.source_relations tgd)) ->
+                      `Delta
+                  | Tgd.Aggregation _ when state <> None -> `Agg
+                  | _ -> `Rederive
+              in
+              let plans = List.map (fun tgd -> (tgd, plan_of tgd)) selected in
+              let rederive_targets = Hashtbl.create 4 in
+              List.iter
+                (fun (tgd, plan) ->
+                  if plan = `Rederive then
+                    Hashtbl.replace rederive_targets (Tgd.target_relation tgd)
+                      ())
+                plans;
+              (* One pass suffices: demoting a tgd adds no new target. *)
+              let plans =
+                List.map
+                  (fun (tgd, plan) ->
+                    if
+                      plan <> `Rederive
+                      && Hashtbl.mem rederive_targets (Tgd.target_relation tgd)
+                    then (tgd, `Rederive)
+                    else (tgd, plan))
+                  plans
+              in
+              let of_plan p =
+                List.filter_map
+                  (fun (tgd, plan) -> if plan = p then Some tgd else None)
+                  plans
+              in
+              let rederive = of_plan `Rederive in
+              let aggs = of_plan `Agg in
+              let delta_tl = of_plan `Delta in
+              (* A rederived aggregation's bags go stale (its target is
+                 rebuilt outside the bag bookkeeping): drop them so the
+                 next touching batch rebuilds from the source. *)
+              (match state with
+              | Some st ->
+                  List.iter
+                    (fun tgd ->
+                      match tgd with
+                      | Tgd.Aggregation _ ->
+                          Hashtbl.remove st (Tgd.to_string tgd)
+                      | _ -> ())
+                    rederive
+              | None -> ());
+              let mode = if rederive <> [] then "rederive" else "delta" in
+              if rederive <> [] then
+                istats.strata_rederived <- istats.strata_rederived + 1
+              else istats.strata_delta <- istats.strata_delta + 1;
+              Obs.with_span "chase.stratum"
+                ~attrs:
+                  [
+                    ("stratum", string_of_int i);
+                    ("tgds", string_of_int (List.length selected));
+                    ("mode", mode);
+                  ]
+                (fun () ->
+                  let ( let* ) = Result.bind in
+                  (* Rederive first — it clears its targets wholesale;
+                     the other plans touch disjoint targets and read
+                     only lower strata. *)
+                  let* out1 =
+                    if rederive = [] then Ok []
+                    else
+                      incr_rederive_stratum ~executor solution stats istats
+                        rederive
+                  in
+                  let* out2 =
+                    if aggs = [] then Ok []
+                    else
+                      let st = Option.get state in
+                      let outs = ref [] in
+                      Result.map
+                        (fun () -> !outs)
+                        (wrap_chase (fun () ->
+                             List.iter
+                               (fun tgd ->
+                                 match tgd with
+                                 | Tgd.Aggregation
+                                     { source; group_by; aggr; measure; target }
+                                   ->
+                                     let key = Tgd.to_string tgd in
+                                     let bags, fresh =
+                                       match Hashtbl.find_opt st key with
+                                       | Some bags -> (bags, false)
+                                       | None ->
+                                           let bags =
+                                             build_agg_bags solution stats
+                                               source group_by measure
+                                           in
+                                           Hashtbl.replace st key bags;
+                                           (bags, true)
+                                     in
+                                     let delta =
+                                       Option.value ~default:empty_delta
+                                         (Hashtbl.find_opt current
+                                            source.Tgd.rel)
+                                     in
+                                     let d =
+                                       incr_agg_tgd solution stats istats bags
+                                         ~fresh source group_by aggr measure
+                                         target ~delta
+                                     in
+                                     stats.tgds_applied <-
+                                       stats.tgds_applied + 1;
+                                     if d.added <> [] || d.removed <> [] then
+                                       outs := (target, d) :: !outs
+                                 | _ -> assert false)
+                               aggs))
+                  in
+                  let* out3 =
+                    if delta_tl = [] then Ok []
+                    else begin
+                      let seed : (string, Instance.fact list) Hashtbl.t =
+                        Hashtbl.create 8
+                      in
+                      Hashtbl.iter
+                        (fun rel d ->
+                          if d.added <> [] then Hashtbl.replace seed rel d.added)
+                        current;
+                      incr_delta_stratum solution stats istats delta_tl seed
+                    end
+                  in
+                  let* () =
+                    check_target_egds ~check_egds m solution stats
+                      (List.map Tgd.target_relation selected)
+                  in
+                  Ok (out1 @ out2 @ out3))
+            end
+          in
+          let rec loop i = function
+            | [] -> Ok ()
+            | stratum :: rest -> (
+                match run_stratum_incr i stratum with
+                | Error _ as e -> e
+                | Ok out ->
+                    List.iter (fun (rel, d) -> merge rel d) out;
+                    loop (i + 1) rest)
+          in
+          let result =
+            Obs.with_span "chase.incremental"
+              ~attrs:
+                [ ("delta_facts", string_of_int istats.input_facts) ]
+              ~attrs_after:(fun () ->
+                [
+                  ("strata_skipped", string_of_int istats.strata_skipped);
+                  ("facts_rederived", string_of_int istats.facts_rederived);
+                ])
+              (fun () -> loop 0 (strata_of m))
+          in
+          if Obs.enabled () then begin
+            let builds1, lookups1 = Instance.index_stats () in
+            Obs.count "chase.incr.runs";
+            Obs.count ~n:istats.input_facts "chase.incr.input_facts";
+            Obs.count ~n:istats.facts_rederived "chase.incr.facts_rederived";
+            Obs.count ~n:stats.matches_examined "chase.matches_examined";
+            Obs.count ~n:stats.tuples_generated "chase.tuples_generated";
+            Obs.count ~n:stats.tgds_applied "chase.tgds_applied";
+            Obs.count ~n:stats.egd_checks "chase.egd_checks";
+            Obs.count ~n:(builds1 - builds0) "chase.index_builds";
+            Obs.count ~n:(lookups1 - lookups0) "chase.index_lookups"
+          end;
+          Result.map (fun () -> (stats, istats)) result)

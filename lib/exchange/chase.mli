@@ -64,6 +64,70 @@ val run :
     invoked, so tasks only read shared relations and write their own
     target. *)
 
+type fact_delta = { added : Instance.fact list; removed : Instance.fact list }
+(** A change to one relation's fact set.  A revision of a key is its
+    old fact in [removed] and its new fact in [added]. *)
+
+type incr_stats = {
+  mutable input_facts : int;  (** net input delta facts applied *)
+  mutable strata_total : int;
+  mutable strata_skipped : int;
+      (** strata no delta reached — not evaluated at all *)
+  mutable strata_delta : int;
+      (** insert-only tuple-level strata run via seeded semi-naive
+          delta rounds *)
+  mutable strata_rederived : int;
+      (** strata rebuilt DRed-style (deletions, or aggregation /
+          blackbox / outer tgds) *)
+  mutable facts_rederived : int;
+      (** facts (re)derived during propagation — compare with the
+          solution's total fact count for the work saved *)
+}
+
+val empty_incr_stats : unit -> incr_stats
+
+type incr_state
+(** Per-mapping state of the group-scoped aggregation path: for every
+    aggregation tgd, the multiset of measures currently contributing
+    to each group.  Opaque and mutable; create one per cached solution
+    and pass it to every {!incremental} call repairing that solution —
+    it must be discarded together with the solution instance. *)
+
+val create_incr_state : unit -> incr_state
+
+val incremental :
+  ?check_egds:bool ->
+  ?executor:((unit -> unit) list -> unit) ->
+  ?state:incr_state ->
+  Mappings.Mapping.t ->
+  solution:Instance.t ->
+  deltas:(string * fact_delta) list ->
+  (stats * incr_stats, string) result
+(** Incrementally repair a previous full solution after source-fact
+    changes, in place.  [solution] is the instance a prior {!run} of
+    the same mapping produced (it contains both the Σst source copies
+    and every derived relation, plus their persistent indexes);
+    [deltas] are the not-yet-applied changes to source relations.
+
+    The deltas are first applied to [solution] (set semantics: only
+    genuinely new/removed facts propagate), then the strata are
+    re-evaluated in stratification order: a stratum no delta reaches is
+    skipped outright; an insert-only tuple-level tgd runs seeded
+    semi-naive delta rounds against the persistent indexes; an
+    aggregation tgd, when [state] is supplied, re-aggregates only the
+    groups its source delta falls in (see {!incr_state}); any other
+    touched tgd (tuple-level deletions, blackbox, outer combine, or
+    aggregation without [state]) is rederived DRed-style — its touched
+    targets are over-deleted and re-run from their updated sources,
+    and the old-vs-new diff becomes the (compact) delta for the strata
+    above.  Functionality egds are re-checked on every touched target.
+
+    On [Error] the solution may be partially repaired; callers keeping
+    the instance (and [state]) across batches must discard both.
+
+    On success the repaired [solution] equals what a from-scratch
+    {!run} on the updated sources would produce. *)
+
 val apply_tgd : Instance.t -> Mappings.Tgd.t -> stats -> (unit, string) result
 (** Apply one tgd exhaustively against the instance, with the naive
     per-application caches (exposed for unit tests). *)

@@ -29,6 +29,7 @@ let () =
       ("vector", Test_vector.suite);
       ("etl", Test_etl.suite);
       ("engine", Test_engine.suite);
+      ("incr", Test_incr.suite);
       ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
