@@ -196,3 +196,104 @@ let run_incr base_path =
         exit 1
       end
       else print_endline "\nno regressions."
+
+(* --- the optimizer guard (`bench --guard-opt`) ---
+
+   Re-measures the X12 unoptimized-vs-optimized chase rows against
+   BENCH_PR6.json.  All compared quantities are counters, not clocks,
+   so a throttled runner cannot fail the build.  A row regresses when
+
+   - an optimized-side counter (matches examined, tuples generated,
+     nulls created) drifted more than 25% from the baseline in either
+     direction (deterministic: drift is an algorithmic change), or
+   - the optimizer stopped improving: the optimized chase examines at
+     least as many matches as the unoptimized one, or creates more
+     non-core facts (or any, where the baseline recorded none). *)
+
+type opt_base = {
+  opt_label : string;
+  base_matches : float;
+  base_tuples : float;
+  base_nulls : float;
+}
+
+let opt_base_rows json =
+  List.filter_map
+    (fun entry ->
+      let field path =
+        List.fold_left
+          (fun acc name -> Option.bind acc (Obs.Json.member name))
+          (Some entry) path
+      in
+      match
+        ( Option.bind (field [ "label" ]) Obs.Json.string_value,
+          Option.bind (field [ "optimized"; "matches_examined" ]) Obs.Json.number,
+          Option.bind (field [ "optimized"; "tuples_generated" ]) Obs.Json.number,
+          Option.bind (field [ "optimized"; "nulls_created" ]) Obs.Json.number )
+      with
+      | Some opt_label, Some base_matches, Some base_tuples, Some base_nulls ->
+          Some { opt_label; base_matches; base_tuples; base_nulls }
+      | _ -> None)
+    (match Obs.Json.member "opt" json with
+    | Some rows -> Obs.Json.elements rows
+    | None -> [])
+
+let run_opt base_path =
+  match Obs.Json.parse (read_file base_path) with
+  | Error msg ->
+      Printf.eprintf "guard-opt: cannot parse %s: %s\n" base_path msg;
+      exit 1
+  | Ok json ->
+      let base = opt_base_rows json in
+      if base = [] then begin
+        Printf.eprintf "guard-opt: no opt rows in %s\n" base_path;
+        exit 1
+      end;
+      Printf.printf "optimizer regression guard vs %s (tolerance %.0f%%)\n\n"
+        base_path (tolerance *. 100.);
+      let current = Experiments.opt_rows () in
+      let failures = ref 0 in
+      let within base cur =
+        cur <= base *. (1. +. tolerance) && cur >= base *. (1. -. tolerance)
+      in
+      let check row =
+        match
+          List.find_opt
+            (fun (c : Experiments.opt_row) ->
+              c.Experiments.opt_label = row.opt_label)
+            current
+        with
+        | None ->
+            incr failures;
+            Printf.printf "  FAIL %-28s row no longer measured\n" row.opt_label
+        | Some c ->
+            let o = c.Experiments.opt and u = c.Experiments.unopt in
+            let drift_ok =
+              within row.base_matches (float_of_int o.Experiments.opt_matches)
+              && within row.base_tuples (float_of_int o.Experiments.opt_tuples)
+              && (row.base_nulls = 0.
+                  && o.Experiments.opt_nulls = 0
+                 || within row.base_nulls (float_of_int o.Experiments.opt_nulls))
+            in
+            let improves_ok =
+              o.Experiments.opt_matches < u.Experiments.opt_matches
+              && o.Experiments.opt_nulls <= u.Experiments.opt_nulls
+              && ((not (row.base_nulls = 0.)) || o.Experiments.opt_nulls = 0)
+            in
+            if not (drift_ok && improves_ok) then incr failures;
+            Printf.printf
+              "  %s %-28s matches %.0f -> %d (unopt %d)%s; non-core %.0f -> \
+               %d (unopt %d)%s\n"
+              (if drift_ok && improves_ok then "ok  " else "FAIL")
+              row.opt_label row.base_matches o.Experiments.opt_matches
+              u.Experiments.opt_matches
+              (if drift_ok then "" else " (drifted > tolerance)")
+              row.base_nulls o.Experiments.opt_nulls u.Experiments.opt_nulls
+              (if improves_ok then "" else " (optimizer stopped improving)")
+      in
+      List.iter check base;
+      if !failures > 0 then begin
+        Printf.printf "\n%d row(s) regressed.\n" !failures;
+        exit 1
+      end
+      else print_endline "\nno regressions."

@@ -717,6 +717,96 @@ let x11 () =
     "X11  Batched updates: incremental apply_updates vs recompute_all [wall-clock]";
   print_incr_rows (incr_rows ())
 
+(* ------------------------------------------------------------------ *)
+(* X12 — the exl-opt optimizer: chase the generated mapping as-is vs
+   the certified-optimized mapping on the same source instance.  The
+   counter deltas (matches examined, tuples generated, non-core facts)
+   are deterministic; BENCH_PR6.json records them and `--guard-opt`
+   re-measures them in CI. *)
+
+type opt_side = {
+  opt_seconds : float;
+  opt_matches : int;  (** candidate lhs assignments enumerated *)
+  opt_tuples : int;  (** facts added, temporaries included *)
+  opt_nulls : int;  (** non-core facts: temp padding + outer defaults *)
+}
+
+type opt_row = {
+  opt_label : string;
+  tgds_before : int;
+  tgds_after : int;
+  est_before : int;
+  est_after : int;
+  unopt : opt_side;
+  opt : opt_side;
+}
+
+let opt_side mapping source =
+  let run () =
+    match Exchange.Chase.run mapping source with
+    | Ok (_, stats) -> stats
+    | Error msg -> failwith msg
+  in
+  let stats = run () in
+  {
+    opt_seconds = wall_avg (fun () -> ignore (run () : Exchange.Chase.stats));
+    opt_matches = stats.Exchange.Chase.matches_examined;
+    opt_tuples = stats.Exchange.Chase.tuples_generated;
+    opt_nulls = stats.Exchange.Chase.nulls_created;
+  }
+
+let opt_row ~label ~program ~data () =
+  let mapping = mapping_of program in
+  let report = Analysis.Optimize.run mapping in
+  (match Analysis.Optimize.verify report with
+  | Ok () -> ()
+  | Error msg -> failwith ("optimizer certificate rejected: " ^ msg));
+  let source = Exchange.Instance.of_registry data in
+  {
+    opt_label = label;
+    tgds_before = List.length mapping.Mappings.Mapping.t_tgds;
+    tgds_after =
+      List.length report.Analysis.Optimize.optimized.Mappings.Mapping.t_tgds;
+    est_before = report.Analysis.Optimize.est_before;
+    est_after = report.Analysis.Optimize.est_after;
+    unopt = opt_side mapping source;
+    opt = opt_side report.Analysis.Optimize.optimized source;
+  }
+
+let opt_rows () =
+  [
+    opt_row ~label:"overview 2rx2y (x4 micro)"
+      ~program:Workload.overview_program
+      ~data:(Workload.overview_registry ~regions:2 ~years:2 ())
+      ();
+    opt_row ~label:"overview 8rx5y (10x scale)"
+      ~program:Workload.overview_program
+      ~data:(Workload.overview_registry ~regions:8 ~years:5 ())
+      ();
+    opt_row ~label:"outer growth 4rx40q"
+      ~program:Workload.outer_growth_program
+      ~data:(Workload.series_registry ~quarters:40 ~regions:4 ())
+      ();
+  ]
+
+let print_opt_rows rows =
+  Printf.printf "%-28s %7s %14s %14s %14s %10s %10s\n" "workload" "tgds"
+    "est. matches" "matches" "tuples" "non-core" "time";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-28s %3d->%-3d %6d->%-6d %6d->%-6d %6d->%-6d %4d->%-4d %4.1f->%.1fms\n%!"
+        r.opt_label r.tgds_before r.tgds_after r.est_before r.est_after
+        r.unopt.opt_matches r.opt.opt_matches r.unopt.opt_tuples
+        r.opt.opt_tuples r.unopt.opt_nulls r.opt.opt_nulls
+        (ms r.unopt.opt_seconds) (ms r.opt.opt_seconds))
+    rows
+
+let x12 () =
+  header
+    "X12  exl-opt: chase of the generated vs the certified-optimized mapping";
+  print_opt_rows (opt_rows ())
+
 let all () =
   x1 ();
   x2 ();
@@ -728,4 +818,5 @@ let all () =
   x8 ();
   x9 ();
   x10 ();
-  x11 ()
+  x11 ();
+  x12 ()

@@ -207,6 +207,42 @@ let run_json_incr path =
   Printf.printf "wrote %s\n" path;
   Experiments.print_incr_rows rows
 
+(* --- optimizer baseline (BENCH_PR6.json) --- *)
+
+let json_opt_side (s : Experiments.opt_side) =
+  Printf.sprintf
+    "{\"seconds\": %s, \"matches_examined\": %d, \"tuples_generated\": %d, \
+     \"nulls_created\": %d}"
+    (json_float s.Experiments.opt_seconds)
+    s.Experiments.opt_matches s.Experiments.opt_tuples s.Experiments.opt_nulls
+
+let run_json_opt path =
+  let rows = Experiments.opt_rows () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"pr\": 6,\n  \"opt\": [\n";
+  List.iteri
+    (fun i (r : Experiments.opt_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\",\n\
+           \     \"tgds_before\": %d, \"tgds_after\": %d,\n\
+           \     \"est_before\": %d, \"est_after\": %d,\n\
+           \     \"unoptimized\": %s,\n\
+           \     \"optimized\": %s}%s\n"
+           (json_escape r.Experiments.opt_label)
+           r.Experiments.tgds_before r.Experiments.tgds_after
+           r.Experiments.est_before r.Experiments.est_after
+           (json_opt_side r.Experiments.unopt)
+           (json_opt_side r.Experiments.opt)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Experiments.print_opt_rows rows
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -221,6 +257,7 @@ let () =
   | _ :: "x9" :: _ -> Experiments.x9 ()
   | _ :: "x10" :: _ -> Experiments.x10 ()
   | _ :: "x11" :: _ -> Experiments.x11 ()
+  | _ :: "x12" :: _ -> Experiments.x12 ()
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "--json" :: rest ->
       run_json (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
@@ -233,6 +270,12 @@ let () =
   | _ :: "--guard-incr" :: rest ->
       Baseline.run_incr
         (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
+  | _ :: "--json-opt" :: rest ->
+      run_json_opt
+        (match rest with path :: _ -> path | [] -> "BENCH_PR6.json")
+  | _ :: "--guard-opt" :: rest ->
+      Baseline.run_opt
+        (match rest with path :: _ -> path | [] -> "BENCH_PR6.json")
   | _ ->
       print_endline "EXLEngine benchmark harness (see EXPERIMENTS.md)";
       Experiments.all ();

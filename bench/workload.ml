@@ -146,6 +146,18 @@ let series_registry ~quarters ~regions () =
   Registry.add reg Registry.Elementary cube;
   reg
 
+(* --- optimizer workload: an outer combine with provably equal grids
+   feeding a growth-rate chain (the normalizer temporaries the exl-opt
+   fusion pass exists to eliminate) --- *)
+
+let outer_growth_program =
+  {|
+cube A(q: quarter, r: string);
+PADDED := vadd(A, A);
+GROWTH := 100 * (PADDED - shift(PADDED, 1)) / PADDED;
+TOTAL  := sum(GROWTH, group by q);
+|}
+
 (* --- scalar chain programs for translation-cost scaling --- *)
 
 (* A0 elementary; D1 := A0 + 1; D2 := sqrt(D1); D3 := D2 * 2; ... *)

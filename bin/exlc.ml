@@ -159,15 +159,31 @@ let out_arg =
 
 type lint_format = Text | Json
 
-let lint file format deny_warnings suppress =
-  with_source file @@ fun source ->
-  let report =
-    Analysis.Lint.filter ~suppress (Analysis.Lint.source_diagnostics source)
-  in
-  (match format with
-  | Text -> print_endline (Analysis.Lint.render_text ~source report)
-  | Json -> print_endline (Analysis.Lint.render_json report));
-  Analysis.Lint.exit_code ~deny_warnings report
+let explain code =
+  match Analysis.Diagnostic.description code with
+  | Some text ->
+      Printf.printf "%s: %s\n" code text;
+      0
+  | None ->
+      Printf.eprintf "error: unknown diagnostic code %s (known: %s)\n" code
+        (String.concat ", " Analysis.Diagnostic.known_codes);
+      1
+
+let lint file format deny_warnings suppress explain_code =
+  match (explain_code, file) with
+  | Some code, _ -> explain code
+  | None, None ->
+      prerr_endline "error: FILE is required unless --explain is given";
+      1
+  | None, Some file ->
+      with_source file @@ fun source ->
+      let report =
+        Analysis.Lint.filter ~suppress (Analysis.Lint.source_diagnostics source)
+      in
+      (match format with
+      | Text -> print_endline (Analysis.Lint.render_text ~source report)
+      | Json -> print_endline (Analysis.Lint.render_json report));
+      Analysis.Lint.exit_code ~deny_warnings report
 
 let format_arg =
   Arg.(
@@ -191,15 +207,123 @@ let suppress_arg =
           "Suppress the warning $(docv) (e.g. $(b,-W W101)); repeatable. \
            Errors cannot be suppressed.")
 
+let explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"CODE"
+        ~doc:
+          "Print the catalogue entry for the diagnostic $(docv) (e.g. \
+           $(b,--explain W106)) and exit; no file is read.")
+
+let opt_file_arg =
+  Arg.(
+    value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"EXL program file.")
+
 let lint_cmd =
   let doc =
-    "lint an EXL program: accumulate all type errors, run the EXL lints and \
-     the mapping-level checks (tgd safety, weak acyclicity, egd consistency, \
-     stratification)"
+    "lint an EXL program: accumulate all type errors, run the EXL lints, the \
+     mapping-level checks (tgd safety, weak acyclicity, egd consistency, \
+     stratification) and report what the optimizer would do as I3xx notes"
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
-    Term.(const lint $ file_arg $ format_arg $ deny_warnings_arg $ suppress_arg)
+    Term.(
+      const lint $ opt_file_arg $ format_arg $ deny_warnings_arg $ suppress_arg
+      $ explain_arg)
+
+(* --- optimize subcommand -------------------------------------------- *)
+
+type fuse_mode = Fuse_safe | Fuse_unsafe | Fuse_off
+
+let optimize file format fuse_mode no_fuse verify =
+  with_source file @@ fun source ->
+  let report = Analysis.Lint.source_diagnostics source in
+  match report.Analysis.Lint.mapping with
+  | None ->
+      prerr_endline (Analysis.Lint.render_text ~source report);
+      1
+  | Some mapping -> (
+      let fuse_mode = if no_fuse then Fuse_off else fuse_mode in
+      let opt =
+        match fuse_mode with
+        | Fuse_safe -> Analysis.Optimize.run ~fuse:true mapping
+        | Fuse_off -> Analysis.Optimize.run ~fuse:false mapping
+        | Fuse_unsafe ->
+            (* the historical purely syntactic fusion, kept as an A/B
+               baseline: inline first without any cross-check, then run
+               the certificate-carrying passes on the result *)
+            Analysis.Optimize.run ~fuse:false (Mappings.Fuse.mapping mapping)
+      in
+      (match format with
+      | Json -> print_endline (Analysis.Optimize.report_to_json opt)
+      | Text ->
+          List.iter
+            (fun d -> print_endline (Analysis.Diagnostic.to_string d))
+            (Analysis.Optimize.diagnostics opt);
+          Printf.printf
+            "tgds: %d → %d; egds: %d → %d; est. matches: %d → %d\n"
+            (List.length opt.Analysis.Optimize.original.Mappings.Mapping.t_tgds)
+            (List.length opt.Analysis.Optimize.optimized.Mappings.Mapping.t_tgds)
+            (List.length opt.Analysis.Optimize.original.Mappings.Mapping.egds)
+            (List.length opt.Analysis.Optimize.optimized.Mappings.Mapping.egds)
+            opt.Analysis.Optimize.est_before opt.Analysis.Optimize.est_after);
+      if not verify then 0
+      else
+        match Analysis.Optimize.verify opt with
+        | Ok () ->
+            print_endline "all certificates verified";
+            0
+        | Error msg ->
+            prerr_endline ("certificate verification failed: " ^ msg);
+            1)
+
+let fuse_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("safe", Fuse_safe); ("unsafe", Fuse_unsafe); ("off", Fuse_off) ])
+        Fuse_safe
+    & info [ "fuse" ] ~docv:"MODE"
+        ~doc:
+          "Fusion mode: $(b,safe) (default; cost-gated, every step checked \
+           on the critical instance), $(b,unsafe) (historical syntactic \
+           fusion, no cross-check — baseline only), or $(b,off).")
+
+let no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ] ~doc:"Disable the fusion pass (same as --fuse off).")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Re-validate every emitted certificate and re-chase original vs \
+           optimized mapping on the critical instance; non-zero exit on any \
+           failure.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "report" ] ~docv:"FORMAT"
+        ~doc:"Report format: $(b,text) (default) or $(b,json).")
+
+let optimize_cmd =
+  let doc =
+    "run the exl-opt containment-based optimizer on a program's mapping: \
+     prune subsumed tgds, minimize bodies, fuse temporaries under a cost \
+     model, specialize dead outer-combine defaults and discharge implied \
+     egds — every step carrying a machine-checkable certificate"
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const optimize $ file_arg $ report_arg $ fuse_mode_arg $ no_fuse_arg
+      $ verify_arg)
 
 let cmd =
   let doc = "compile EXL statistical programs into executable schema mappings" in
@@ -207,12 +331,16 @@ let cmd =
     (Cmd.info "exlc" ~version:"1.0" ~doc)
     Term.(const run $ file_arg $ emit_arg $ out_arg)
 
-(* [exlc lint …] dispatches to the lint subcommand; anything else keeps
-   the historical positional interface ([exlc file.exl --emit tgds]),
-   which a command group would shadow. *)
+(* [exlc lint …] and [exlc optimize …] dispatch to their subcommands;
+   anything else keeps the historical positional interface
+   ([exlc file.exl --emit tgds]), which a command group would shadow. *)
 let () =
   let argv = Sys.argv in
-  if Array.length argv > 1 && argv.(1) = "lint" then
+  let sub name command =
     let rest = Array.sub argv 2 (Array.length argv - 2) in
-    exit (Cmd.eval' ~argv:(Array.append [| "exlc lint" |] rest) lint_cmd)
+    exit (Cmd.eval' ~argv:(Array.append [| "exlc " ^ name |] rest) command)
+  in
+  if Array.length argv > 1 && argv.(1) = "lint" then sub "lint" lint_cmd
+  else if Array.length argv > 1 && argv.(1) = "optimize" then
+    sub "optimize" optimize_cmd
   else exit (Cmd.eval' cmd)

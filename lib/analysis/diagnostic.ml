@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type t = {
   code : string;
@@ -8,7 +8,9 @@ type t = {
 }
 
 let severity_of_code code =
-  if String.length code > 0 && code.[0] = 'W' then Warning else Error
+  if String.length code = 0 then Error
+  else
+    match code.[0] with 'W' -> Warning | 'I' -> Info | _ -> Error
 
 let make ~code ?pos message = { code; severity = severity_of_code code; pos; message }
 
@@ -22,8 +24,12 @@ let of_error ?(default_code = "E002") (e : Exl.Errors.t) =
 
 let is_error d = d.severity = Error
 let is_warning d = d.severity = Warning
+let is_info d = d.severity = Info
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
 
 let compare a b =
   let pos_key = function
@@ -56,6 +62,8 @@ let catalogue =
               given nor inferable");
     ("W105", "shift distance is zero or exceeds the representable calendar \
               range");
+    ("W106", "statement is a provable identity after normalization (pure \
+              copy of its operand)");
     ("E201", "unsafe tgd: a head variable is not bound by any body atom");
     ("E202", "dependency graph is not weakly acyclic (cycle through a \
               value-creating edge); chase termination not certified");
@@ -63,6 +71,18 @@ let catalogue =
               the defining tgd");
     ("E204", "stratification failure: tgd order is not a valid total order");
     ("W205", "target relation is never produced by any tgd");
+    ("I301", "optimizer pruned a tgd subsumed by another (witness \
+              homomorphism attached)");
+    ("I302", "optimizer dropped a redundant body atom (core folding \
+              witness attached)");
+    ("I303", "optimizer merged duplicate functional body atoms (justified \
+              by the relation's egd)");
+    ("I304", "optimizer fused a temporary into its consumer(s) (cost model \
+              win, equivalence checked on the critical instance)");
+    ("I305", "optimizer specialized an outer combine with provably equal \
+              grids to a tuple-level tgd");
+    ("I306", "optimizer discharged a functionality egd implied by the \
+              defining tgd (determination chain attached)");
   ]
 
 let description code = List.assoc_opt code catalogue
@@ -120,9 +140,10 @@ let to_json d =
 let list_to_json ds =
   let errors = List.length (List.filter is_error ds) in
   let warnings = List.length (List.filter is_warning ds) in
+  let infos = List.length (List.filter is_info ds) in
   Printf.sprintf
-    {|{"diagnostics":[%s],"summary":{"errors":%d,"warnings":%d}}|}
+    {|{"diagnostics":[%s],"summary":{"errors":%d,"warnings":%d,"infos":%d}}|}
     (String.concat "," (List.map to_json ds))
-    errors warnings
+    errors warnings infos
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -9,7 +9,7 @@
     The catalogue of codes lives here and is mirrored in
     [docs/DIAGNOSTICS.md]. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type t = {
   code : string;
@@ -20,7 +20,7 @@ type t = {
 
 val make : code:string -> ?pos:Exl.Ast.pos -> string -> t
 (** Severity is derived from the code prefix: [W...] is a warning,
-    anything else an error. *)
+    [I...] an informational note, anything else an error. *)
 
 val makef :
   code:string -> ?pos:Exl.Ast.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
@@ -31,6 +31,7 @@ val of_error : ?default_code:string -> Exl.Errors.t -> t
 
 val is_error : t -> bool
 val is_warning : t -> bool
+val is_info : t -> bool
 val severity_to_string : severity -> string
 
 val compare : t -> t -> int
@@ -52,6 +53,6 @@ val to_string_with_source : source:string -> t -> string
 
 val to_json : t -> string
 val list_to_json : t list -> string
-(** [{"diagnostics":[...],"summary":{"errors":n,"warnings":m}}] *)
+(** [{"diagnostics":[...],"summary":{"errors":n,"warnings":m,"infos":k}}] *)
 
 val pp : Format.formatter -> t -> unit

@@ -37,14 +37,27 @@ let source_diagnostics source =
                   Map_lints.run g.Mappings.Generate.mapping )
             | Error e -> (None, [ Diagnostic.of_error e ])
           in
+          let findings = exl_findings @ map_findings in
+          (* Surface what the optimizer would do as I3xx notes — only on
+             a clean mapping; chasing an inconsistent one is noise.
+             I306 (egd discharge) is omitted here: it fires on nearly
+             every tgd, so it only appears in [exlc optimize] reports. *)
+          let opt_findings =
+            match mapping with
+            | Some m when not (List.exists Diagnostic.is_error findings) ->
+                List.filter
+                  (fun d -> d.Diagnostic.code <> "I306")
+                  (Optimize.diagnostics (Optimize.run m))
+            | _ -> []
+          in
           {
-            diagnostics = Diagnostic.sort (exl_findings @ map_findings);
+            diagnostics = Diagnostic.sort (findings @ opt_findings);
             checked = Some checked;
             mapping;
           })
 
 let filter ~suppress report =
-  (* only warnings can be suppressed; errors always survive *)
+  (* warnings and infos can be suppressed; errors always survive *)
   {
     report with
     diagnostics =
@@ -54,9 +67,12 @@ let filter ~suppress report =
         report.diagnostics;
   }
 
+(* Infos (I3xx optimizer notes) never affect the exit code, even under
+   [--deny-warnings]. *)
 let exit_code ~deny_warnings report =
   if List.exists Diagnostic.is_error report.diagnostics then 1
-  else if deny_warnings && report.diagnostics <> [] then 1
+  else if deny_warnings && List.exists Diagnostic.is_warning report.diagnostics
+  then 1
   else 0
 
 let render_text ?source report =
@@ -70,9 +86,14 @@ let render_text ?source report =
   let warnings =
     List.length (List.filter Diagnostic.is_warning report.diagnostics)
   in
+  let infos =
+    List.length (List.filter Diagnostic.is_info report.diagnostics)
+  in
   let summary =
-    if errors = 0 && warnings = 0 then "no diagnostics"
-    else Printf.sprintf "%d error(s), %d warning(s)" errors warnings
+    if errors = 0 && warnings = 0 && infos = 0 then "no diagnostics"
+    else
+      Printf.sprintf "%d error(s), %d warning(s)" errors warnings
+      ^ if infos = 0 then "" else Printf.sprintf ", %d info(s)" infos
   in
   String.concat "\n" (body @ [ summary ])
 

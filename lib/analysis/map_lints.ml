@@ -216,7 +216,35 @@ let unproduced_targets (m : Mapping.t) =
              "target relation %s is never produced by any tgd" name))
     m.Mapping.target
 
+(* --- W106: provable identity ----------------------------------------- *)
+
+(* A user-written statement whose tgd merely copies another user cube
+   after normalization ([B := A;], or [B := A + 0;] once neutral
+   elements are simplified).  Temporaries are skipped on both sides:
+   a temp target is not a statement, and an identity reading a temp is
+   an artifact of normalization, not of the program. *)
+let identities (m : Mapping.t) =
+  List.filter_map
+    (fun tgd ->
+      let target = Tgd.target_relation tgd in
+      if Exl.Normalize.is_temp target then None
+      else if
+        Containment.is_identity tgd
+        && not
+             (List.exists Exl.Normalize.is_temp (Tgd.source_relations tgd))
+      then
+        Some
+          (Diagnostic.makef ~code:"W106"
+             "%s is a provable identity after normalization: it merely \
+              copies %s"
+             target
+             (match Tgd.source_relations tgd with
+             | r :: _ -> r
+             | [] -> "its operand"))
+      else None)
+    m.Mapping.t_tgds
+
 let run (m : Mapping.t) =
   Diagnostic.sort
     (safety m @ Acyclicity.diagnose m @ egd_consistency m @ stratification m
-   @ unproduced_targets m)
+   @ unproduced_targets m @ identities m)

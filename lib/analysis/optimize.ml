@@ -1,0 +1,1047 @@
+(* exl-opt: the containment-based mapping optimizer.
+
+   A static pass between mapping generation and the chase.  Five
+   rewrites, every one carrying a machine-checkable certificate in the
+   style of the weak-acyclicity rank certificate:
+
+   - I301  prune a tgd subsumed by another (witness homomorphism);
+   - I302  drop a redundant body atom (core folding witness);
+   - I303  merge duplicate functional body atoms (egd justification);
+   - I304  fuse a temporary into its consumer(s), gated by a cost
+           model and checked by chasing both mappings on a critical
+           instance;
+   - I305  specialize an outer combine whose sides share one relation
+           (equal grids, so the default is dead) to a tuple-level tgd;
+   - I306  discharge a functionality egd implied by its defining tgd
+           (determination chain).
+
+   [verify] re-validates every certificate independently of the code
+   that produced it, and re-chases original vs. optimized on the
+   critical instance. *)
+
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+module Egd = Mappings.Egd
+module Mapping = Mappings.Mapping
+module Fuse = Mappings.Fuse
+open Matrix
+
+(* --- cost model ------------------------------------------------------ *)
+
+(* Estimated matches_examined: the first body atom is scanned, each
+   further atom costs its full cardinality for a cross join but only a
+   small constant when it shares a variable with the atoms before it
+   (the chase probes a persistent index).  Derived cardinalities are
+   propagated bottom-up in stratification order. *)
+
+let default_card = 64
+let kappa = 2
+
+let card env rel = Option.value ~default:default_card (Hashtbl.find_opt env rel)
+
+let est_tuple_body env (lhs : Tgd.atom list) =
+  match lhs with
+  | [] -> 1
+  | first :: rest ->
+      let bound = ref (Tgd.atom_vars first) in
+      List.fold_left
+        (fun acc (a : Tgd.atom) ->
+          let vars = Tgd.atom_vars a in
+          let shared = List.exists (fun v -> List.mem v !bound) vars in
+          bound := vars @ !bound;
+          acc * if shared then kappa else card env a.Tgd.rel)
+        (card env first.Tgd.rel)
+        rest
+
+let est_tgd env = function
+  | Tgd.Tuple_level { lhs; _ } -> est_tuple_body env lhs
+  | Tgd.Aggregation { source; _ } -> card env source.Tgd.rel
+  | Tgd.Table_fn { source; _ } -> card env source
+  | Tgd.Outer_combine { left; right; _ } ->
+      card env left.Tgd.rel + card env right.Tgd.rel
+
+let out_card env = function
+  | Tgd.Tuple_level { lhs = []; _ } -> 1
+  | Tgd.Tuple_level { lhs = first :: _; _ } -> card env first.Tgd.rel
+  | Tgd.Aggregation { source; _ } -> max 1 (card env source.Tgd.rel / 4)
+  | Tgd.Table_fn { source; _ } -> card env source
+  | Tgd.Outer_combine { left; right; _ } ->
+      max (card env left.Tgd.rel) (card env right.Tgd.rel)
+
+let cost_env ?(cards = []) (m : Mapping.t) =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (r, c) -> Hashtbl.replace env r c) cards;
+  List.iter
+    (fun tgd ->
+      let tgt = Tgd.target_relation tgd in
+      if not (Hashtbl.mem env tgt) then
+        Hashtbl.replace env tgt (out_card env tgd))
+    m.Mapping.t_tgds;
+  env
+
+let estimate ?cards (m : Mapping.t) =
+  let env = cost_env ?cards m in
+  List.fold_left
+    (fun acc tgd -> acc + est_tgd env tgd + out_card env tgd)
+    0 m.Mapping.t_tgds
+
+(* --- the critical instance ------------------------------------------- *)
+
+(* A small synthetic source instance exercising every dimension domain:
+   four consecutive periods (so shift joins up to distance three hit
+   both matches and boundaries), four days straddling a quarter
+   boundary (so calendar roll-ups collapse unevenly), two categorical
+   values per string/int dimension, and pairwise-distinct measures (so
+   grouping or join mistakes change some output).  Chasing original
+   and optimized mappings over it and diffing the solutions is the
+   equivalence evidence fusion certificates carry. *)
+
+let dim_values (d : Domain.t) =
+  match d with
+  | Domain.String -> [ Value.String "a"; Value.String "b" ]
+  | Domain.Int -> [ Value.Int 1; Value.Int 2 ]
+  | Domain.Float -> [ Value.Float 1.5; Value.Float 2.5 ]
+  | Domain.Bool -> [ Value.Bool true; Value.Bool false ]
+  | Domain.Date ->
+      (* twelve dates a quarter apart, covering the same twelve
+         quarters as the Period domain so calendar roll-ups of date
+         data produce full-length quarterly series *)
+      let base = Calendar.Date.make ~year:2020 ~month:1 ~day:15 in
+      List.init 12 (fun i -> Value.Date (Calendar.Date.add_days base (91 * i)))
+  | Domain.Period f ->
+      (* consecutive periods: enough for shift joins at several
+         distances and — when the cycle is short enough — for blackbox
+         seasonal decompositions, which need two full cycles.  Capped
+         at 30 values: weekly/daily decompositions stay unchaseable on
+         the critical instance, which conservatively disables fusion
+         there instead of blowing up the instance. *)
+      let freq = Option.value ~default:Calendar.Quarter f in
+      let count =
+        match Calendar.periods_per_year freq with
+        | Some ppy -> max 12 (min 30 ((2 * ppy) + 2))
+        | None -> 12
+      in
+      let base =
+        Calendar.Period.of_date freq
+          (Calendar.Date.make ~year:2020 ~month:1 ~day:1)
+      in
+      List.init count (fun i -> Value.Period (Calendar.Period.shift base i))
+  | Domain.Any -> [ Value.Int 0 ]
+
+(* Constants mentioned by the mapping's dependencies.  The synthetic
+   dimension values ("a", "b", 1, 2, ...) never collide with program
+   constants, so without these a selection like
+   [DEPOSITS(m, s, "overnight", y)] would match nothing on the critical
+   instance and any rewrite discarding the selection would pass the
+   equivalence check vacuously. *)
+let rec term_consts (t : Term.t) =
+  match t with
+  | Term.Const v -> [ v ]
+  | Term.Var _ -> []
+  | Term.Shifted (a, _) | Term.Dim_fn (_, a) | Term.Scalar_fn (_, _, a)
+  | Term.Neg a ->
+      term_consts a
+  | Term.Binapp (_, a, b) | Term.Coalesce (a, b) ->
+      term_consts a @ term_consts b
+
+let mapping_consts (m : Mapping.t) =
+  let atom_consts (a : Tgd.atom) = List.concat_map term_consts a.Tgd.args in
+  let tgd_consts = function
+    | Tgd.Tuple_level { lhs; rhs } -> List.concat_map atom_consts (rhs :: lhs)
+    | Tgd.Aggregation { source; group_by; _ } ->
+        atom_consts source @ List.concat_map term_consts group_by
+    | Tgd.Table_fn _ -> []
+    | Tgd.Outer_combine { left; right; _ } ->
+        atom_consts left @ atom_consts right
+  in
+  List.sort_uniq Value.compare
+    (List.concat_map tgd_consts (m.Mapping.st_tgds @ m.Mapping.t_tgds))
+
+let critical_instance (m : Mapping.t) =
+  let inst = Exchange.Instance.create () in
+  let consts = mapping_consts m in
+  let counter = ref 0 in
+  List.iter
+    (fun (s : Schema.t) ->
+      Exchange.Instance.add_relation inst s;
+      let dims = Array.to_list s.Schema.dims in
+      let rec keys = function
+        | [] -> [ [] ]
+        | d :: rest ->
+            let dom = d.Schema.dim_domain in
+            let extra =
+              List.filter
+                (fun v ->
+                  (not (Value.is_null v))
+                  && Domain.member v dom
+                  && not (List.exists (Value.equal v) (dim_values dom)))
+                consts
+            in
+            let vs = dim_values dom @ extra in
+            List.concat_map
+              (fun v -> List.map (fun k -> v :: k) (keys rest))
+              vs
+      in
+      List.iter
+        (fun key ->
+          incr counter;
+          let measure = Value.Float (2.0 +. (1.37 *. float_of_int !counter)) in
+          ignore
+            (Exchange.Instance.insert inst s.Schema.name
+               (Array.of_list (key @ [ measure ]))))
+        (keys dims))
+    m.Mapping.source;
+  inst
+
+let value_close a b =
+  Value.equal a b
+  ||
+  match (Value.to_float a, Value.to_float b) with
+  | Some x, Some y ->
+      Float.abs (x -. y) <= 1e-9 *. (1. +. Float.max (Float.abs x) (Float.abs y))
+  | _ -> false
+
+let fact_equal f1 f2 =
+  Array.length f1 = Array.length f2
+  && Array.for_all2 value_close f1 f2
+
+let fact_to_string f =
+  "("
+  ^ String.concat ", " (Array.to_list (Array.map Value.to_string f))
+  ^ ")"
+
+(* Chase both mappings over the critical instance of [m1] and diff the
+   solutions on the optimized mapping's target relations (the original
+   may additionally hold temporaries — exactly the non-core facts the
+   optimizer removes).  [Ok facts_compared] or the first difference. *)
+let equivalent_on_critical (m1 : Mapping.t) (m2 : Mapping.t) :
+    (int, string) result =
+  let inst = critical_instance m1 in
+  match (Exchange.Chase.run m1 inst, Exchange.Chase.run m2 inst) with
+  | Error e, _ -> Error ("original mapping failed on critical instance: " ^ e)
+  | _, Error e -> Error ("optimized mapping failed on critical instance: " ^ e)
+  | Ok (j1, _), Ok (j2, _) -> (
+      let relations =
+        List.map (fun (s : Schema.t) -> s.Schema.name) m2.Mapping.target
+      in
+      let compared = ref 0 in
+      let mismatch =
+        List.find_map
+          (fun rel ->
+            let f1 = Exchange.Instance.facts j1 rel in
+            let f2 = Exchange.Instance.facts j2 rel in
+            compared := !compared + List.length f1;
+            if List.length f1 <> List.length f2 then
+              Some
+                (Printf.sprintf "%s: %d facts before vs %d after" rel
+                   (List.length f1) (List.length f2))
+            else
+              List.find_map
+                (fun (a, b) ->
+                  if fact_equal a b then None
+                  else
+                    Some
+                      (Printf.sprintf "%s: %s vs %s" rel (fact_to_string a)
+                         (fact_to_string b)))
+                (List.combine f1 f2))
+          relations
+      in
+      match mismatch with
+      | Some msg -> Error ("solutions differ on critical instance: " ^ msg)
+      | None -> Ok !compared)
+
+(* --- certificates and actions ---------------------------------------- *)
+
+type certificate =
+  | Subsumption_witness of { by : Tgd.t; hom : Containment.homomorphism }
+  | Fold_witness of {
+      dropped : Tgd.atom;
+      onto : Tgd.atom;
+      hom : Containment.homomorphism;
+    }
+  | Egd_merge of { relation : string; dropped_var : string; kept_var : string }
+  | Fusion_equivalence of { producer : Tgd.t; facts_compared : int }
+  | Grid_equality of { relation : string }
+  | Determination of { chain : string list }
+
+type action = {
+  code : string;
+  target : string;
+  detail : string;
+  before : Tgd.t option;
+  after : Tgd.t option;
+  certificate : certificate;
+}
+
+type report = {
+  original : Mapping.t;
+  optimized : Mapping.t;
+  actions : action list;
+  est_before : int;
+  est_after : int;
+  fused : bool;
+}
+
+(* --- pass 1: subsumption pruning (I301) ------------------------------- *)
+
+let index_of tgds tgd =
+  let rec go i = function
+    | [] -> -1
+    | t :: rest -> if t == tgd then i else go (i + 1) rest
+  in
+  1 + go 0 tgds
+
+let prune_subsumed push (m : Mapping.t) =
+  let rec loop (m : Mapping.t) =
+    let victim =
+      List.find_map
+        (fun specific ->
+          List.find_map
+            (fun general ->
+              if general == specific then None
+              else
+                Option.map
+                  (fun hom -> (general, specific, hom))
+                  (Containment.subsumes ~general ~specific))
+            m.Mapping.t_tgds)
+        m.Mapping.t_tgds
+    in
+    match victim with
+    | None -> m
+    | Some (general, specific, hom) ->
+        push
+          {
+            code = "I301";
+            target = Tgd.target_relation specific;
+            detail =
+              Printf.sprintf "pruned tgd #%d: subsumed by #%d, witness h = %s"
+                (index_of m.Mapping.t_tgds specific)
+                (index_of m.Mapping.t_tgds general)
+                (Containment.hom_to_string hom);
+            before = Some specific;
+            after = None;
+            certificate = Subsumption_witness { by = general; hom };
+          };
+        loop
+          {
+            m with
+            Mapping.t_tgds =
+              List.filter (fun t -> not (t == specific)) m.Mapping.t_tgds;
+          }
+  in
+  loop m
+
+(* --- pass 2: body minimization (I302, I303) --------------------------- *)
+
+let subst_var v replacement (a : Tgd.atom) =
+  let f x = if x = v then Some replacement else None in
+  { a with Tgd.args = List.map (Term.substitute f) a.Tgd.args }
+
+(* A body relation is functional when the (original) mapping declares
+   its egd or when it is a source cube, whose store is keyed by
+   dimensions by construction. *)
+let functional_rel (original : Mapping.t) rel =
+  List.exists (fun (e : Egd.t) -> e.Egd.relation = rel) original.Mapping.egds
+  || List.exists
+       (fun (s : Schema.t) -> s.Schema.name = rel)
+       original.Mapping.source
+
+let minimize_tgd push ~original (tgd : Tgd.t) =
+  let rec loop tgd =
+    match tgd with
+    | Tgd.Tuple_level { lhs; rhs } -> (
+        let merge =
+          match Containment.mergeable_atoms ~body:lhs with
+          | Some (kept, dropped, dropped_var, kept_var)
+            when functional_rel original kept.Tgd.rel ->
+              Some (kept, dropped, dropped_var, kept_var)
+          | _ -> None
+        in
+        match merge with
+        | Some (kept, dropped, dropped_var, kept_var) ->
+            let body =
+              List.filter_map
+                (fun a ->
+                  if a == dropped then None
+                  else Some (subst_var dropped_var (Term.Var kept_var) a))
+                lhs
+            in
+            let rhs' = subst_var dropped_var (Term.Var kept_var) rhs in
+            let after = Tgd.Tuple_level { lhs = body; rhs = rhs' } in
+            push
+              {
+                code = "I303";
+                target = rhs.Tgd.rel;
+                detail =
+                  Printf.sprintf
+                    "merged duplicate %s atoms in the body of %s: egd forces \
+                     %s = %s"
+                    kept.Tgd.rel rhs.Tgd.rel dropped_var kept_var;
+                before = Some tgd;
+                after = Some after;
+                certificate =
+                  Egd_merge { relation = kept.Tgd.rel; dropped_var; kept_var };
+              };
+            loop after
+        | None -> (
+            let fold =
+              List.find_map
+                (fun a ->
+                  Option.map
+                    (fun (onto, hom) -> (a, onto, hom))
+                    (Containment.redundant_atom ~head:rhs ~body:lhs a))
+                lhs
+            in
+            match fold with
+            | Some (a, onto, hom) ->
+                let after =
+                  Tgd.Tuple_level
+                    { lhs = List.filter (fun b -> not (b == a)) lhs; rhs }
+                in
+                push
+                  {
+                    code = "I302";
+                    target = rhs.Tgd.rel;
+                    detail =
+                      Printf.sprintf
+                        "dropped redundant body atom %s of %s: folds onto %s \
+                         with h = %s"
+                        (Tgd.atom_to_string a) rhs.Tgd.rel
+                        (Tgd.atom_to_string onto)
+                        (Containment.hom_to_string hom);
+                    before = Some tgd;
+                    after = Some after;
+                    certificate = Fold_witness { dropped = a; onto; hom };
+                  };
+                loop after
+            | None -> tgd))
+    | _ -> tgd
+  in
+  loop tgd
+
+let minimize_all push ~original (m : Mapping.t) =
+  {
+    m with
+    Mapping.t_tgds = List.map (minimize_tgd push ~original) m.Mapping.t_tgds;
+  }
+
+(* --- pass 3: cost-gated, certified fusion (I304) ----------------------- *)
+
+let usages (m : Mapping.t) name =
+  List.filter
+    (fun tgd -> List.mem name (Tgd.source_relations tgd))
+    m.Mapping.t_tgds
+
+(* Replace a temporary relation by the relation an identity producer
+   copies: sound for any consumer shape because the grids coincide
+   exactly.  Only when the producer is a provable identity. *)
+let rename_rel ~from_rel ~to_rel (tgd : Tgd.t) =
+  let fix (a : Tgd.atom) =
+    if a.Tgd.rel = from_rel then { a with Tgd.rel = to_rel } else a
+  in
+  match tgd with
+  | Tgd.Tuple_level { lhs; rhs } ->
+      Tgd.Tuple_level { lhs = List.map fix lhs; rhs = fix rhs }
+  | Tgd.Aggregation a -> Tgd.Aggregation { a with source = fix a.source }
+  | Tgd.Table_fn f ->
+      Tgd.Table_fn
+        { f with source = (if f.source = from_rel then to_rel else f.source) }
+  | Tgd.Outer_combine o ->
+      Tgd.Outer_combine { o with left = fix o.left; right = fix o.right }
+
+let fuse_consumer ~producer ~consumer =
+  match consumer with
+  | Tgd.Tuple_level _ -> Fuse.fuse_step ~producer ~consumer
+  | Tgd.Aggregation _ -> Fuse.fuse_step_agg ~producer ~consumer
+  | Tgd.Table_fn _ | Tgd.Outer_combine _ ->
+      if Containment.is_identity producer then (
+        match producer with
+        | Tgd.Tuple_level { lhs = [ a ]; rhs } ->
+            Some (rename_rel ~from_rel:rhs.Tgd.rel ~to_rel:a.Tgd.rel consumer)
+        | _ -> None)
+      else None
+
+let remove_temp (m : Mapping.t) temp ~producer ~(replacements : (Tgd.t * Tgd.t) list) =
+  let t_tgds =
+    List.filter_map
+      (fun tgd ->
+        if tgd == producer then None
+        else
+          match List.find_opt (fun (c, _) -> c == tgd) replacements with
+          | Some (_, fused) -> Some fused
+          | None -> Some tgd)
+      m.Mapping.t_tgds
+  in
+  let target =
+    List.filter (fun (s : Schema.t) -> s.Schema.name <> temp) m.Mapping.target
+  in
+  let egds =
+    List.filter (fun (e : Egd.t) -> e.Egd.relation <> temp) m.Mapping.egds
+  in
+  { m with Mapping.t_tgds; target; egds }
+
+let fuse_all push ~original ?cards (m : Mapping.t) =
+  let rec loop (m : Mapping.t) rejected =
+    let candidate =
+      List.find_map
+        (fun producer ->
+          match producer with
+          | Tgd.Tuple_level _ -> (
+              let temp = Tgd.target_relation producer in
+              if
+                (not (Exl.Normalize.is_temp temp)) || List.mem temp rejected
+              then None
+              else
+                match usages m temp with
+                | [] -> None
+                | consumers -> (
+                    let fused =
+                      List.map
+                        (fun consumer ->
+                          Option.map
+                            (fun f -> (consumer, f))
+                            (fuse_consumer ~producer ~consumer))
+                        consumers
+                    in
+                    if List.exists Option.is_none fused then None
+                    else
+                      let replacements = List.filter_map Fun.id fused in
+                      (* cost gate: inlining into k consumers repeats
+                         the producer's work k times but saves
+                         materializing and scanning the temporary *)
+                      let env = cost_env ?cards m in
+                      let unfused =
+                        est_tgd env producer + out_card env producer
+                        + List.fold_left
+                            (fun acc c -> acc + est_tgd env c)
+                            0 consumers
+                      in
+                      let fused_cost =
+                        List.fold_left
+                          (fun acc (_, f) -> acc + est_tgd env f)
+                          0 replacements
+                      in
+                      if fused_cost > unfused then None
+                      else Some (producer, temp, replacements, unfused, fused_cost)))
+          | _ -> None)
+        m.Mapping.t_tgds
+    in
+    match candidate with
+    | None -> m
+    | Some (producer, temp, replacements, unfused, fused_cost) -> (
+        (* minimize the fused bodies before committing (the merge of
+           duplicate functional atoms typically fires right here) *)
+        let deferred = ref [] in
+        let push_deferred a = deferred := a :: !deferred in
+        let minimized =
+          List.map
+            (fun (c, f) -> (c, minimize_tgd push_deferred ~original f))
+            replacements
+        in
+        let next = remove_temp m temp ~producer ~replacements:minimized in
+        match equivalent_on_critical m next with
+        | Error _ -> loop m (temp :: rejected)
+        | Ok facts_compared ->
+            List.iter
+              (fun (consumer, (_, fused)) ->
+                push
+                  {
+                    code = "I304";
+                    target = Tgd.target_relation consumer;
+                    detail =
+                      Printf.sprintf
+                        "fused temporary %s into %s (est. matches %d → %d); \
+                         equivalence checked on the critical instance (%d \
+                         facts)"
+                        temp
+                        (Tgd.target_relation consumer)
+                        unfused fused_cost facts_compared;
+                    before = Some consumer;
+                    after = Some fused;
+                    certificate =
+                      Fusion_equivalence { producer; facts_compared };
+                  })
+              (List.combine (List.map fst minimized) minimized);
+            List.iter push (List.rev !deferred);
+            loop next rejected)
+  in
+  loop m []
+
+(* --- pass 4: outer-combine specialization (I305) ----------------------- *)
+
+let specialize_outer (tgd : Tgd.t) =
+  match tgd with
+  | Tgd.Outer_combine { left; right; op; default = _; target }
+    when left.Tgd.rel = right.Tgd.rel -> (
+      match (Containment.split_atom left, Containment.split_atom right) with
+      | (ldims, Some (Term.Var ml)), (rdims, Some (Term.Var _))
+        when List.length ldims = List.length rdims
+             && List.for_all2 Term.equal
+                  (List.map Containment.normalize_term ldims)
+                  (List.map Containment.normalize_term rdims) ->
+          (* identical relation and dimension terms: the key sets are
+             equal, no side is ever missing, the default is dead — and
+             both measures name the same fact's measure *)
+          Some
+            (Tgd.Tuple_level
+               {
+                 lhs = [ left ];
+                 rhs =
+                   Tgd.atom target
+                     (ldims @ [ Term.Binapp (op, Term.Var ml, Term.Var ml) ]);
+               })
+      | _ -> None)
+  | _ -> None
+
+let specialize_outers push (m : Mapping.t) =
+  let t_tgds =
+    List.map
+      (fun tgd ->
+        match specialize_outer tgd with
+        | None -> tgd
+        | Some specialized ->
+            let rel =
+              match tgd with
+              | Tgd.Outer_combine { left; _ } -> left.Tgd.rel
+              | _ -> assert false
+            in
+            push
+              {
+                code = "I305";
+                target = Tgd.target_relation tgd;
+                detail =
+                  Printf.sprintf
+                    "specialized outer combine for %s: both sides read %s on \
+                     the same grid, the coalescing default is dead"
+                    (Tgd.target_relation tgd) rel;
+                before = Some tgd;
+                after = Some specialized;
+                certificate = Grid_equality { relation = rel };
+              };
+            specialized)
+      m.Mapping.t_tgds
+  in
+  { m with Mapping.t_tgds }
+
+(* --- pass 5: egd discharge (I306) -------------------------------------- *)
+
+let discharge_egds push (m : Mapping.t) =
+  let defining rel =
+    match List.filter (fun t -> Tgd.target_relation t = rel) m.Mapping.t_tgds with
+    | [ tgd ] -> Some tgd
+    | _ -> None
+  in
+  let egds =
+    List.filter
+      (fun (e : Egd.t) ->
+        let rel = e.Egd.relation in
+        match defining rel with
+        | None -> true
+        | Some tgd -> (
+            let discharge chain why =
+              push
+                {
+                  code = "I306";
+                  target = rel;
+                  detail =
+                    Printf.sprintf "discharged functionality egd of %s: %s" rel
+                      why;
+                  before = Some tgd;
+                  after = None;
+                  certificate = Determination { chain };
+                };
+              false
+            in
+            match tgd with
+            | Tgd.Tuple_level { lhs; rhs } -> (
+                match Containment.fd_determines ~body:lhs ~head:rhs with
+                | Some chain ->
+                    discharge chain
+                      (Printf.sprintf
+                         "measure determined by head dimensions via %s"
+                         (String.concat " → " chain))
+                | None -> true)
+            | Tgd.Aggregation _ ->
+                discharge [] "aggregations key their output by the group-by terms"
+            | Tgd.Table_fn _ ->
+                discharge [] "table functions preserve the dimension grid"
+            | Tgd.Outer_combine _ ->
+                discharge [] "outer combines key their output by the dimension grid"))
+      m.Mapping.egds
+  in
+  { m with Mapping.egds }
+
+(* --- join ordering ----------------------------------------------------- *)
+
+(* Order a tuple-level body for execution.  The chase joins atoms left
+   to right, probing a hash index on every argument position whose term
+   is fully determined by the plain variables bound so far; an atom
+   reached with no determined position falls back to a full scan (a
+   nested loop).  Fusion concatenates bodies in discovery order, which
+   can put a shifted atom before the atom that binds its variable —
+   e.g. [GDPT(q-1, m2) ∧ GDPT(q, m1)] scans GDPT quadratically where
+   the reverse order probes.  Conjunction is commutative, so reordering
+   needs no certificate: greedily pick the atom with the most
+   determined positions, breaking ties towards the one binding the most
+   new plain variables. *)
+let order_body (lhs : Tgd.atom list) =
+  match lhs with
+  | [] | [ _ ] -> lhs
+  | _ ->
+      let plain_vars (a : Tgd.atom) =
+        List.filter_map
+          (fun t -> match t with Term.Var v -> Some v | _ -> None)
+          a.Tgd.args
+      in
+      let determined bound (a : Tgd.atom) =
+        List.length
+          (List.filter
+             (fun t ->
+               List.for_all (fun v -> List.mem v bound) (Term.vars t))
+             a.Tgd.args)
+      in
+      let rec go bound acc remaining =
+        match remaining with
+        | [] -> List.rev acc
+        | _ ->
+            let best =
+              List.fold_left
+                (fun best a ->
+                  let score =
+                    (determined bound a, List.length (plain_vars a))
+                  in
+                  match best with
+                  | Some (best_score, _) when best_score >= score -> best
+                  | _ -> Some (score, a))
+                None remaining
+            in
+            let _, a = Option.get best in
+            go
+              (plain_vars a @ bound)
+              (a :: acc)
+              (List.filter (fun b -> b != a) remaining)
+      in
+      go [] [] lhs
+
+let order_bodies (m : Mapping.t) =
+  {
+    m with
+    Mapping.t_tgds =
+      List.map
+        (fun tgd ->
+          match tgd with
+          | Tgd.Tuple_level { lhs; rhs } ->
+              Tgd.Tuple_level { lhs = order_body lhs; rhs }
+          | t -> t)
+        m.Mapping.t_tgds;
+  }
+
+(* --- the driver -------------------------------------------------------- *)
+
+let run ?(fuse = true) ?cards (m : Mapping.t) =
+  let actions = ref [] in
+  let push a = actions := a :: !actions in
+  let m1 = prune_subsumed push m in
+  let m2 = minimize_all push ~original:m m1 in
+  let m3 = if fuse then fuse_all push ~original:m ?cards m2 else m2 in
+  let m4 = specialize_outers push m3 in
+  let m5 = discharge_egds push m4 in
+  let m6 = order_bodies m5 in
+  {
+    original = m;
+    optimized = m6;
+    actions = List.rev !actions;
+    est_before = estimate ?cards m;
+    est_after = estimate ?cards m6;
+    fused = fuse;
+  }
+
+(* --- verification ------------------------------------------------------ *)
+
+(* Alpha-equivalence up to variable renaming: mutual subsumption for
+   tuple-level tgds, a two-way atom match for aggregations.  Used to
+   replay fusion steps, whose fresh variable names differ between the
+   recorded and the replayed result. *)
+let alpha_equivalent (a : Tgd.t) (b : Tgd.t) =
+  match (a, b) with
+  | Tgd.Tuple_level _, Tgd.Tuple_level _ ->
+      Containment.equivalent a b <> None
+  | ( Tgd.Aggregation
+        { source = s1; group_by = g1; aggr = a1; measure = m1; target = t1 },
+      Tgd.Aggregation
+        { source = s2; group_by = g2; aggr = a2; measure = m2; target = t2 } )
+    ->
+      a1 = a2 && t1 = t2
+      && List.length g1 = List.length g2
+      && (let match_dir sa ga ma sb gb mb =
+            match
+              Containment.match_atom []
+                (Containment.normalize_atom sa)
+                (Containment.normalize_atom sb)
+            with
+            | None -> None
+            | Some sub ->
+                let sub =
+                  List.fold_left2
+                    (fun acc ta tb ->
+                      Option.bind acc (fun sub ->
+                          Containment.match_term sub
+                            (Containment.normalize_term ta)
+                            (Containment.normalize_term tb)))
+                    (Some sub) ga gb
+                in
+                Option.bind sub (fun sub ->
+                    Containment.match_term sub (Term.Var ma) (Term.Var mb))
+          in
+          match_dir s1 g1 m1 s2 g2 m2 <> None
+          && match_dir s2 g2 m2 s1 g1 m1 <> None)
+  | _ -> Tgd.equal a b
+
+let verify_action (r : report) (a : action) : (unit, string) result =
+  let fail fmt = Printf.ksprintf (fun s -> Error (a.code ^ ": " ^ s)) fmt in
+  match (a.certificate, a.before, a.after) with
+  | Subsumption_witness { by; hom }, Some pruned, None -> (
+      match (by, pruned) with
+      | ( Tgd.Tuple_level { lhs = g_lhs; rhs = g_rhs },
+          Tgd.Tuple_level { lhs = s_lhs; rhs = s_rhs } ) ->
+          let image (atom : Tgd.atom) =
+            Containment.normalize_atom
+              {
+                atom with
+                Tgd.args = List.map (Containment.apply_hom hom) atom.Tgd.args;
+              }
+          in
+          let target_atoms = List.map Containment.normalize_atom s_lhs in
+          let head_ok =
+            Tgd.equal_atom (image g_rhs) (Containment.normalize_atom s_rhs)
+          in
+          let body_ok =
+            List.for_all
+              (fun atom ->
+                List.exists (Tgd.equal_atom (image atom)) target_atoms)
+              g_lhs
+          in
+          if head_ok && body_ok then Ok ()
+          else fail "witness homomorphism does not map the subsumer onto %s"
+                 a.target
+      | _ -> fail "subsumption certificate on non tuple-level tgds")
+  | Fold_witness { dropped; onto; hom }, Some before, Some after -> (
+      match (before, after) with
+      | Tgd.Tuple_level { lhs = b_lhs; rhs = b_rhs },
+        Tgd.Tuple_level { lhs = a_lhs; rhs = a_rhs } ->
+          let kept_vars =
+            List.sort_uniq String.compare
+              (Tgd.atom_vars a_rhs @ List.concat_map Tgd.atom_vars a_lhs)
+          in
+          let moves_outside_var =
+            List.exists
+              (fun (v, t) ->
+                (not (Term.equal t (Term.Var v))) && List.mem v kept_vars)
+              hom
+          in
+          let image =
+            Containment.normalize_atom
+              {
+                dropped with
+                Tgd.args =
+                  List.map
+                    (fun t ->
+                      Containment.apply_hom hom (Containment.normalize_term t))
+                    dropped.Tgd.args;
+              }
+          in
+          let body_shrunk =
+            List.length b_lhs = List.length a_lhs + 1
+            && Tgd.equal_atom
+                 (Containment.normalize_atom b_rhs)
+                 (Containment.normalize_atom a_rhs)
+          in
+          let lands_on_onto =
+            Tgd.equal_atom image (Containment.normalize_atom onto)
+            && List.exists
+                 (fun b ->
+                   Tgd.equal_atom (Containment.normalize_atom onto)
+                     (Containment.normalize_atom b))
+                 a_lhs
+          in
+          if body_shrunk && (not moves_outside_var) && lands_on_onto then Ok ()
+          else fail "fold witness for %s does not land in the reduced body"
+                 a.target
+      | _ -> fail "fold certificate on non tuple-level tgds")
+  | Egd_merge { relation; dropped_var; kept_var }, Some before, Some after -> (
+      if not (functional_rel r.original relation) then
+        fail "merge of %s atoms is not justified by any egd" relation
+      else
+        match before with
+        | Tgd.Tuple_level { lhs; rhs } -> (
+            let pair =
+              List.find_map
+                (fun (x : Tgd.atom) ->
+                  List.find_map
+                    (fun (y : Tgd.atom) ->
+                      if x == y || x.Tgd.rel <> relation || y.Tgd.rel <> relation
+                      then None
+                      else
+                        let dx, mx = Containment.split_atom (Containment.normalize_atom x) in
+                        let dy, my = Containment.split_atom (Containment.normalize_atom y) in
+                        match (mx, my) with
+                        | Some (Term.Var vx), Some (Term.Var vy)
+                          when vx = kept_var && vy = dropped_var
+                               && List.length dx = List.length dy
+                               && List.for_all2 Term.equal dx dy ->
+                            Some y
+                        | _ -> None)
+                    lhs)
+                lhs
+            in
+            match pair with
+            | None ->
+                fail "no duplicate %s atoms with measures %s/%s in %s" relation
+                  kept_var dropped_var a.target
+            | Some dropped_atom ->
+                let replay =
+                  Tgd.Tuple_level
+                    {
+                      lhs =
+                        List.filter_map
+                          (fun at ->
+                            if at == dropped_atom then None
+                            else
+                              Some
+                                (subst_var dropped_var (Term.Var kept_var) at))
+                          lhs;
+                      rhs = subst_var dropped_var (Term.Var kept_var) rhs;
+                    }
+                in
+                if Tgd.equal replay after then Ok ()
+                else fail "replayed merge differs from the recorded result")
+        | _ -> fail "merge certificate on a non tuple-level tgd")
+  | Fusion_equivalence { producer; facts_compared = _ }, Some consumer, Some fused
+    -> (
+      (* the committed tgd is the fusion result after body minimization,
+         so the replay minimizes too (with the action log discarded) *)
+      let minimize = minimize_tgd (fun _ -> ()) ~original:r.original in
+      match fuse_consumer ~producer ~consumer with
+      | Some replay
+        when alpha_equivalent replay fused
+             || alpha_equivalent (minimize replay) fused ->
+          Ok ()
+      | Some _ -> fail "replayed fusion for %s differs from the recorded tgd" a.target
+      | None -> fail "recorded fusion for %s does not replay" a.target)
+  | Grid_equality { relation }, Some before, Some after -> (
+      match specialize_outer before with
+      | Some replay when Tgd.equal replay after -> (
+          match before with
+          | Tgd.Outer_combine { left; right; _ }
+            when left.Tgd.rel = relation && right.Tgd.rel = relation ->
+              Ok ()
+          | _ -> fail "grid certificate names the wrong relation")
+      | _ -> fail "outer specialization for %s does not replay" a.target)
+  | Determination { chain }, Some tgd, None -> (
+      match tgd with
+      | Tgd.Tuple_level { lhs; rhs } -> (
+          match Containment.fd_determines ~body:lhs ~head:rhs with
+          | Some replay_chain
+            when List.sort String.compare replay_chain
+                 = List.sort String.compare chain ->
+              Ok ()
+          | Some _ -> fail "determination chain for %s does not replay" a.target
+          | None ->
+              fail "egd of %s is not implied by its defining tgd" a.target)
+      | Tgd.Aggregation _ | Tgd.Table_fn _ | Tgd.Outer_combine _ ->
+          if chain = [] then Ok ()
+          else fail "non-empty chain on a construction-functional tgd")
+  | _ -> fail "malformed certificate for %s" a.target
+
+let verify (r : report) : (unit, string) result =
+  let rec check = function
+    | [] -> (
+        (* the global re-chase: original and optimized mappings agree
+           on the critical instance, independent of any single step.
+           A mapping whose blackbox operators reject the synthetic
+           instance outright cannot be re-chased — then the per-action
+           certificates (none of which can be fusion, which needs the
+           same evidence) are all the verification there is. *)
+        match Exchange.Chase.run r.original (critical_instance r.original) with
+        | Error _ -> Ok ()
+        | Ok _ -> (
+            match equivalent_on_critical r.original r.optimized with
+            | Ok _ -> Ok ()
+            | Error e -> Error e))
+    | a :: rest -> (
+        match verify_action r a with Ok () -> check rest | Error _ as e -> e)
+  in
+  check r.actions
+
+(* --- rendering --------------------------------------------------------- *)
+
+let diagnostics (r : report) =
+  List.map (fun a -> Diagnostic.make ~code:a.code a.detail) r.actions
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let certificate_to_json = function
+  | Subsumption_witness { by; hom } ->
+      Printf.sprintf {|{"kind":"subsumption","by":"%s","witness":"%s"}|}
+        (json_escape (Tgd.to_string by))
+        (json_escape (Containment.hom_to_string hom))
+  | Fold_witness { dropped; onto; hom } ->
+      Printf.sprintf
+        {|{"kind":"fold","dropped":"%s","onto":"%s","witness":"%s"}|}
+        (json_escape (Tgd.atom_to_string dropped))
+        (json_escape (Tgd.atom_to_string onto))
+        (json_escape (Containment.hom_to_string hom))
+  | Egd_merge { relation; dropped_var; kept_var } ->
+      Printf.sprintf
+        {|{"kind":"egd_merge","relation":"%s","dropped":"%s","kept":"%s"}|}
+        (json_escape relation) (json_escape dropped_var) (json_escape kept_var)
+  | Fusion_equivalence { producer; facts_compared } ->
+      Printf.sprintf
+        {|{"kind":"fusion_equivalence","producer":"%s","facts_compared":%d}|}
+        (json_escape (Tgd.to_string producer))
+        facts_compared
+  | Grid_equality { relation } ->
+      Printf.sprintf {|{"kind":"grid_equality","relation":"%s"}|}
+        (json_escape relation)
+  | Determination { chain } ->
+      Printf.sprintf {|{"kind":"determination","chain":[%s]}|}
+        (String.concat ","
+           (List.map (fun v -> "\"" ^ json_escape v ^ "\"") chain))
+
+let action_to_json (a : action) =
+  let opt_tgd name = function
+    | None -> ""
+    | Some t ->
+        Printf.sprintf {|"%s":"%s",|} name (json_escape (Tgd.to_string t))
+  in
+  Printf.sprintf {|{"code":"%s","target":"%s",%s%s"detail":"%s","certificate":%s}|}
+    (json_escape a.code) (json_escape a.target)
+    (opt_tgd "before" a.before)
+    (opt_tgd "after" a.after)
+    (json_escape a.detail)
+    (certificate_to_json a.certificate)
+
+let report_to_json (r : report) =
+  Printf.sprintf
+    {|{"fuse":%b,"tgds_before":%d,"tgds_after":%d,"egds_before":%d,"egds_after":%d,"est_matches_before":%d,"est_matches_after":%d,"actions":[%s]}|}
+    r.fused
+    (List.length r.original.Mapping.t_tgds)
+    (List.length r.optimized.Mapping.t_tgds)
+    (List.length r.original.Mapping.egds)
+    (List.length r.optimized.Mapping.egds)
+    r.est_before r.est_after
+    (String.concat "," (List.map action_to_json r.actions))

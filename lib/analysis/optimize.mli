@@ -1,0 +1,89 @@
+(** exl-opt: the containment-based mapping optimizer.
+
+    A static pass between mapping generation and the chase.  Five
+    rewrites — subsumption pruning, body minimization (core folding and
+    egd-justified atom merging), cost-gated fusion of temporaries,
+    outer-combine specialization, and egd discharge — each emitting a
+    machine-checkable {!certificate}.  {!verify} re-validates every
+    certificate independently and re-chases the original and optimized
+    mappings on a synthetic critical instance. *)
+
+(** The evidence attached to each transformation. *)
+type certificate =
+  | Subsumption_witness of {
+      by : Mappings.Tgd.t;
+      hom : Containment.homomorphism;
+    }  (** I301: the homomorphism mapping the subsumer onto the pruned tgd. *)
+  | Fold_witness of {
+      dropped : Mappings.Tgd.atom;
+      onto : Mappings.Tgd.atom;
+      hom : Containment.homomorphism;
+    }  (** I302: the core-folding witness for a dropped body atom. *)
+  | Egd_merge of { relation : string; dropped_var : string; kept_var : string }
+      (** I303: the relation whose functionality egd forces the merged
+          measures equal. *)
+  | Fusion_equivalence of { producer : Mappings.Tgd.t; facts_compared : int }
+      (** I304: the inlined producer; equivalence was established by
+          chasing both mappings on the critical instance. *)
+  | Grid_equality of { relation : string }
+      (** I305: both outer-combine sides read this relation on the same
+          dimension terms, so the coalescing default is dead. *)
+  | Determination of { chain : string list }
+      (** I306: variables, in FD-chase order, showing the head measure
+          is determined by the head dimensions ([[]] for tgd shapes
+          functional by construction). *)
+
+type action = {
+  code : string;  (** The I3xx diagnostic code. *)
+  target : string;  (** The relation the transformation concerns. *)
+  detail : string;  (** Human-readable one-liner. *)
+  before : Mappings.Tgd.t option;
+  after : Mappings.Tgd.t option;
+  certificate : certificate;
+}
+
+type report = {
+  original : Mappings.Mapping.t;
+  optimized : Mappings.Mapping.t;
+  actions : action list;  (** In application order. *)
+  est_before : int;  (** {!estimate} of the original mapping. *)
+  est_after : int;
+  fused : bool;  (** Whether the fusion pass was enabled. *)
+}
+
+val run :
+  ?fuse:bool -> ?cards:(string * int) list -> Mappings.Mapping.t -> report
+(** Optimize a mapping.  [fuse] (default [true]) enables the
+    cost-gated fusion pass; [cards] overrides the estimated cardinality
+    of named source relations (default 64 each). *)
+
+val verify : report -> (unit, string) result
+(** Independently re-check every action's certificate (witnesses are
+    re-applied, merges and fusions replayed, determination chains
+    re-chased) and re-chase [original] vs [optimized] on the critical
+    instance.  [Error] pinpoints the first failing certificate. *)
+
+val estimate : ?cards:(string * int) list -> Mappings.Mapping.t -> int
+(** Estimated chase cost (matches examined plus tuples generated) under
+    the optimizer's cost model: default cardinality 64 per source
+    relation, joins on shared variables probe an index. *)
+
+val critical_instance : Mappings.Mapping.t -> Exchange.Instance.t
+(** The synthetic source instance equivalence checks chase over: the
+    cartesian product of small per-domain dimension sets (four
+    consecutive periods, dates straddling a quarter boundary, two
+    values per categorical domain) with pairwise-distinct measures. *)
+
+val equivalent_on_critical :
+  Mappings.Mapping.t -> Mappings.Mapping.t -> (int, string) result
+(** Chase both mappings over the first one's critical instance and
+    compare the second mapping's target relations fact-by-fact (1e-9
+    relative float tolerance).  [Ok n] with [n] facts compared, or the
+    first difference. *)
+
+val diagnostics : report -> Diagnostic.t list
+(** The actions as I3xx informational diagnostics. *)
+
+val report_to_json : report -> string
+(** Machine-readable report: tgd/egd counts before and after, cost
+    estimates, and every action with its serialized certificate. *)

@@ -11,6 +11,9 @@ type config = {
   retry : Dispatcher.retry_policy;
   faults : Faults.plan option;
       (* injected failures, for drills and tests; None in production *)
+  optimize : bool;
+      (* run the exl-opt containment pass on generated mappings before
+         chasing them; on by default, opt out for A/B runs *)
 }
 
 let default_config =
@@ -22,6 +25,7 @@ let default_config =
     pool_size = None;
     retry = Dispatcher.default_retry;
     faults = None;
+    optimize = true;
   }
 
 (* The solution cache of the incremental path: the chase instance a
@@ -247,7 +251,16 @@ let apply_to_store t updates =
 let rebuild_solution t covered =
   match Translation.submapping t.determination ~cubes:covered with
   | Error _ as e -> e
-  | Ok mapping -> (
+  | Ok generated -> (
+      (* The optimized mapping is what gets chased, cached and repaired
+         incrementally; [covered] only names user cubes (never
+         temporaries), so pruning temporaries is invisible to
+         [store_derived]. *)
+      let mapping =
+        if t.config.optimize then
+          (Analysis.Optimize.run generated).Analysis.Optimize.optimized
+        else generated
+      in
       let source = Exchange.Instance.of_registry t.store in
       match Exchange.Chase.run mapping source with
       | Error _ as e -> e

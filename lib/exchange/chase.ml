@@ -7,6 +7,7 @@ type stats = {
   mutable tuples_generated : int;
   mutable tgds_applied : int;
   mutable egd_checks : int;
+  mutable nulls_created : int;
   mutable rounds : int;
 }
 
@@ -16,6 +17,7 @@ let empty_stats () =
     tuples_generated = 0;
     tgds_applied = 0;
     egd_checks = 0;
+    nulls_created = 0;
     rounds = 0;
   }
 
@@ -25,7 +27,8 @@ let merge_stats ~into (s : stats) =
   into.matches_examined <- into.matches_examined + s.matches_examined;
   into.tuples_generated <- into.tuples_generated + s.tuples_generated;
   into.tgds_applied <- into.tgds_applied + s.tgds_applied;
-  into.egd_checks <- into.egd_checks + s.egd_checks
+  into.egd_checks <- into.egd_checks + s.egd_checks;
+  into.nulls_created <- into.nulls_created + s.nulls_created
 
 type mode = Naive | Semi_naive
 
@@ -261,10 +264,16 @@ let index_needs lhs =
 
 (* ----- tgd application ----- *)
 
+(* [nulls_created] is the non-core overhead counter: facts landing in
+   temporary relations are the labelled-null padding of a non-core
+   solution (a core solution holds no temporaries), and outer combines
+   additionally count every default substituted for a missing side. *)
 let emit_fact instance stats on_new rel values =
   let fact = Array.of_list values in
   if Instance.insert instance rel fact then begin
     stats.tuples_generated <- stats.tuples_generated + 1;
+    if Exl.Normalize.is_temp rel then
+      stats.nulls_created <- stats.nulls_created + 1;
     on_new rel fact
   end
 
@@ -372,6 +381,8 @@ let apply_outer_combine ~out instance stats on_new (left : Tgd.atom)
     let fr = Option.value ~default (Option.bind vr Value.to_float) in
     match Ops.Binop.eval op fl fr with
     | Some result ->
+        if vl = None || vr = None then
+          stats.nulls_created <- stats.nulls_created + 1;
         emit_fact out stats on_new target
           (Tuple.to_list key @ [ Value.of_float result ])
     | None -> ()
@@ -845,6 +856,7 @@ let run ?(check_egds = true) ?(mode = Semi_naive)
         Obs.count ~n:stats.tuples_generated "chase.tuples_generated";
         Obs.count ~n:stats.tgds_applied "chase.tgds_applied";
         Obs.count ~n:stats.egd_checks "chase.egd_checks";
+        Obs.count ~n:stats.nulls_created "chase.nulls_created";
         Obs.count ~n:(builds1 - builds0) "chase.index_builds";
         Obs.count ~n:(lookups1 - lookups0) "chase.index_lookups"
       end;
@@ -1344,6 +1356,7 @@ let incremental ?(check_egds = true) ?(executor = sequential_executor) ?state
             Obs.count ~n:stats.tuples_generated "chase.tuples_generated";
             Obs.count ~n:stats.tgds_applied "chase.tgds_applied";
             Obs.count ~n:stats.egd_checks "chase.egd_checks";
+            Obs.count ~n:stats.nulls_created "chase.nulls_created";
             Obs.count ~n:(builds1 - builds0) "chase.index_builds";
             Obs.count ~n:(lookups1 - lookups0) "chase.index_lookups"
           end;

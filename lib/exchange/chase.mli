@@ -17,6 +17,10 @@ type stats = {
 
   mutable tgds_applied : int;
   mutable egd_checks : int;  (** fact pairs compared for functionality *)
+  mutable nulls_created : int;
+      (** non-core overhead: facts emitted into temporary relations
+          (the labelled-null padding of a non-core solution) plus
+          defaults substituted for missing outer-combine sides *)
   mutable rounds : int;  (** evaluation rounds executed by the driver *)
 }
 

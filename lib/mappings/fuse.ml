@@ -66,18 +66,62 @@ let fuse_step ~producer ~consumer =
       | _ -> None)
   | _ -> None
 
+(* Inline a single-atom tuple-level producer into an aggregation
+   consumer.  The consumer's source-atom variables bind to the
+   producer's head terms; group-by keys are rewritten through that
+   binding (an aggregation over a shifted operand must shift its keys
+   too — substituting the source atom alone would change semantics at
+   window boundaries).  The aggregated measure must stay a plain
+   variable, so producers computing a complex measure are not
+   fusable into aggregations. *)
+let fuse_step_agg ~producer ~consumer =
+  match (producer, consumer) with
+  | ( Tgd.Tuple_level { lhs = [ p_atom ]; rhs = p_rhs },
+      Tgd.Aggregation { source; group_by; aggr; measure; target } )
+    when source.Tgd.rel = p_rhs.Tgd.rel
+         && List.length source.Tgd.args = List.length p_rhs.Tgd.args -> (
+      let p_lhs, p_rhs = freshen_tgd_vars [ p_atom ] p_rhs in
+      let p_atom = List.hd p_lhs in
+      let rec bind acc = function
+        | [] -> Some acc
+        | (Term.Var v, t) :: rest -> (
+            match List.assoc_opt v acc with
+            | Some t' when Term.equal t t' -> bind acc rest
+            | Some _ -> None
+            | None -> bind ((v, t) :: acc) rest)
+        | _ -> None
+      in
+      match bind [] (List.combine source.Tgd.args p_rhs.Tgd.args) with
+      | None -> None
+      | Some sub -> (
+          let subst t = Term.substitute (fun v -> List.assoc_opt v sub) t in
+          match List.assoc_opt measure sub with
+          | Some (Term.Var m') ->
+              Some
+                (Tgd.Aggregation
+                   {
+                     source = p_atom;
+                     group_by = List.map subst group_by;
+                     aggr;
+                     measure = m';
+                     target;
+                   })
+          | _ -> None))
+  | _ -> None
+
 let usages (m : Mapping.t) name =
   List.filter
     (fun tgd -> List.mem name (Tgd.source_relations tgd))
     m.Mapping.t_tgds
 
-let mapping (m : Mapping.t) =
-  let rec step (m : Mapping.t) =
+let mapping ?verify (m : Mapping.t) =
+  let rec step (m : Mapping.t) rejected =
     let candidate =
       List.find_map
         (fun producer ->
           let target = Tgd.target_relation producer in
-          if not (Exl.Normalize.is_temp target) then None
+          if (not (Exl.Normalize.is_temp target)) || List.mem target rejected
+          then None
           else
             match (producer, usages m target) with
             | Tgd.Tuple_level _, [ (Tgd.Tuple_level _ as consumer) ] ->
@@ -105,6 +149,12 @@ let mapping (m : Mapping.t) =
         let egds =
           List.filter (fun (e : Egd.t) -> e.Egd.relation <> temp) m.Mapping.egds
         in
-        step { m with Mapping.t_tgds; target; egds }
+        let next = { m with Mapping.t_tgds; target; egds } in
+        let accepted =
+          match verify with None -> true | Some f -> f ~before:m ~after:next
+        in
+        (* A step the cross-check rejects is rolled back; the temp is
+           excluded from further candidates so the loop terminates. *)
+        if accepted then step next rejected else step m (temp :: rejected)
   in
-  step m
+  step m []

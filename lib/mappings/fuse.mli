@@ -15,11 +15,27 @@
     tgds); fusion feeds code generation, where fewer intermediate
     tables mean fewer materialized INSERTs. *)
 
-val mapping : Mapping.t -> Mapping.t
-(** Inline all fusable temporaries (to fixpoint). *)
+val mapping :
+  ?verify:(before:Mapping.t -> after:Mapping.t -> bool) ->
+  Mapping.t ->
+  Mapping.t
+(** Inline all fusable temporaries (to fixpoint).  Without [verify]
+    the pass is purely syntactic (the historical behaviour, kept as
+    the [--fuse=unsafe] bench baseline); with [verify] every inlining
+    step is cross-checked and rolled back when the checker rejects it.
+    The analysis library injects its critical-instance equivalence
+    check here — [Fuse] itself cannot depend on it. *)
 
 val fuse_step :
   producer:Tgd.t -> consumer:Tgd.t -> Tgd.t option
 (** One inlining step: [None] when the pair is not fusable (non
     tuple-level, or the argument terms on both sides of some position
     are complex). Exposed for tests. *)
+
+val fuse_step_agg :
+  producer:Tgd.t -> consumer:Tgd.t -> Tgd.t option
+(** Inline a single-atom tuple-level producer into an aggregation
+    consumer, rewriting the group-by keys through the unifier (an
+    aggregation over a shifted operand must shift its keys too).
+    [None] when the producer has a multi-atom body, computes a
+    non-variable measure, or the atoms do not unify. *)

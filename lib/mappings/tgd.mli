@@ -60,6 +60,8 @@ val is_safe : t -> bool
     and by the chase. *)
 
 val atom_vars : atom -> string list
+val equal_atom : atom -> atom -> bool
+val atom_to_string : atom -> string
 val equal : t -> t -> bool
 (** Structural equality (used by the logic-notation round-trip tests). *)
 

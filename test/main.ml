@@ -16,6 +16,7 @@ let () =
   Alcotest.run "exlengine"
     [
       ("analysis", Test_analysis.suite);
+      ("optimize", Test_optimize.suite);
       ("matrix", Test_matrix.suite);
       ("stats", Test_stats.suite);
       ("ops", Test_ops.suite);

@@ -54,7 +54,7 @@ let test_render () =
   Alcotest.(check bool) "json has code" true
     (Astring_contains.contains json {|"code":"E007"|});
   Alcotest.(check bool) "json has summary" true
-    (Astring_contains.contains json {|"summary":{"errors":1,"warnings":0}|})
+    (Astring_contains.contains json {|"summary":{"errors":1,"warnings":0,"infos":0}|})
 
 (* --- per-code source fixtures: one negative (fires) and the positive
    variant (clean) --- *)
@@ -86,8 +86,12 @@ let test_code_fixtures () =
     "cube A(q: quarter, r: string);\nB := sum(A, group by q, r);\n";
   check_codes "W104 period not inferable" [ "W104" ]
     "cube A(y: year);\nB := deseason(A);\n";
-  check_codes "W105 shift by zero" [ "W105" ]
+  (* shift by zero normalizes to a pure copy, so W106 fires alongside *)
+  check_codes "W105 shift by zero" [ "W105"; "W106" ]
     "cube A(q: quarter);\nB := shift(A, 0);\n";
+  check_codes "W106 plain copy" [ "W106" ] "cube A(q: quarter);\nB := A;\n";
+  check_codes "W106 clean when computing" []
+    "cube A(q: quarter);\nB := A * 2;\n";
   check_codes "W105 shift out of range" [ "W105" ]
     "cube A(q: quarter);\nB := shift(A, 1000000);\n";
   (* positive variants of the warning lints *)
@@ -132,12 +136,13 @@ let test_filter_and_exit_code () =
     A.Lint.source_diagnostics
       "cube A(q: quarter);\ncube UNUSED(x: int);\nB := shift(A, 0);\n"
   in
-  Alcotest.(check int) "two warnings" 2 (List.length report.A.Lint.diagnostics);
+  (* W101 + W105, plus W106: the zero shift is also a provable copy *)
+  Alcotest.(check int) "three warnings" 3 (List.length report.A.Lint.diagnostics);
   Alcotest.(check int) "warnings exit 0" 0
     (A.Lint.exit_code ~deny_warnings:false report);
   Alcotest.(check int) "deny-warnings exit 1" 1
     (A.Lint.exit_code ~deny_warnings:true report);
-  let suppressed = A.Lint.filter ~suppress:[ "W101"; "W105" ] report in
+  let suppressed = A.Lint.filter ~suppress:[ "W101"; "W105"; "W106" ] report in
   Alcotest.(check int) "all suppressed" 0
     (List.length suppressed.A.Lint.diagnostics);
   Alcotest.(check int) "suppressed + deny exits 0" 0

@@ -1,0 +1,470 @@
+(* exl-opt: containment decisions, certified rewrites, the fusion
+   regression the cross-check exists for, and the end-to-end
+   semantics-preservation property. *)
+open Matrix
+module M = Mappings
+module X = Exchange
+module A = Analysis
+module C = A.Containment
+module O = A.Optimize
+module Term = M.Term
+module Tgd = M.Tgd
+open Helpers
+
+let var x = Term.Var x
+let atom rel args = Tgd.atom rel args
+let tl lhs rhs = Tgd.Tuple_level { lhs; rhs }
+let quarter = Domain.Period (Some Calendar.Quarter)
+
+let ok_s = function
+  | Ok v -> v
+  | Error (e : string) -> Alcotest.failf "unexpected error: %s" e
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- containment decisions ------------------------------------------- *)
+
+let test_subsumes () =
+  let general = tl [ atom "A" [ var "q"; var "m" ] ] (atom "B" [ var "q"; var "m" ]) in
+  let specific =
+    tl
+      [ atom "A" [ var "q"; var "m" ]; atom "C" [ var "q"; var "x" ] ]
+      (atom "B" [ var "q"; var "m" ])
+  in
+  Alcotest.(check bool) "extra-atom tgd is subsumed" true
+    (C.subsumes ~general ~specific <> None);
+  Alcotest.(check bool) "not the other way around" true
+    (C.subsumes ~general:specific ~specific:general = None);
+  (* alpha-renaming: mutual subsumption *)
+  let renamed = tl [ atom "A" [ var "t"; var "y" ] ] (atom "B" [ var "t"; var "y" ]) in
+  Alcotest.(check bool) "alpha-equivalent" true (C.equivalent general renamed <> None);
+  (* shift sugar on one side must not block the match *)
+  let sugar =
+    tl [ atom "A" [ Term.Shifted (var "q", 1); var "m" ] ] (atom "B" [ var "q"; var "m" ])
+  in
+  let plain =
+    tl
+      [ atom "A" [ Term.Binapp (Ops.Binop.Add, var "q", Term.Const (Value.Float 1.)); var "m" ] ]
+      (atom "B" [ var "q"; var "m" ])
+  in
+  Alcotest.(check bool) "shift sugar normalized" true (C.equivalent sugar plain <> None)
+
+let test_redundant_atom () =
+  let head = atom "B" [ var "q"; var "m" ] in
+  let a1 = atom "A" [ var "q"; var "m" ] in
+  let a2 = atom "A" [ var "q2"; var "m2" ] in
+  (match C.redundant_atom ~head ~body:[ a1; a2 ] a2 with
+  | Some (onto, _) -> Alcotest.(check string) "folds onto the used atom" "A" onto.Tgd.rel
+  | None -> Alcotest.fail "unused atom should fold");
+  (* not redundant when the head uses its variables *)
+  let head2 = atom "B" [ var "q"; Term.Binapp (Ops.Binop.Add, var "m", var "m2") ] in
+  Alcotest.(check bool) "head use blocks folding" true
+    (C.redundant_atom ~head:head2 ~body:[ a1; a2 ] a2 = None)
+
+let test_mergeable_atoms () =
+  let a1 = atom "A" [ var "q"; var "m1" ] in
+  let a2 = atom "A" [ var "q"; var "m2" ] in
+  (match C.mergeable_atoms ~body:[ a1; a2 ] with
+  | Some (_, _, dropped_var, kept_var) ->
+      Alcotest.(check (list string)) "measure vars merged" [ "m1"; "m2" ]
+        (List.sort compare [ dropped_var; kept_var ])
+  | None -> Alcotest.fail "same-grid atoms should merge");
+  (* different dimension terms: no egd justification *)
+  let a3 = atom "A" [ Term.Shifted (var "q", 1); var "m2" ] in
+  Alcotest.(check bool) "shifted grid does not merge" true
+    (C.mergeable_atoms ~body:[ a1; a3 ] = None)
+
+let test_fd_determines () =
+  (* the paper's tgd (5): measure determined by the head dimension *)
+  let body =
+    [
+      atom "GDPT" [ var "q"; var "m1" ];
+      atom "GDPT" [ Term.Shifted (var "q", -1); var "m2" ];
+    ]
+  in
+  let head = atom "PCHNG" [ var "q"; Term.Binapp (Ops.Binop.Sub, var "m1", var "m2") ] in
+  (match C.fd_determines ~body ~head with
+  | Some chain -> Alcotest.(check bool) "chain nonempty" true (chain <> [])
+  | None -> Alcotest.fail "head dims determine the measure");
+  (* a body atom whose dims are not reachable leaves its measure free *)
+  let loose = [ atom "A" [ var "q2"; var "m" ] ] in
+  Alcotest.(check bool) "unreachable dims: not determined" true
+    (C.fd_determines ~body:loose ~head:(atom "B" [ var "q"; var "m" ]) = None)
+
+let test_is_identity () =
+  let id = tl [ atom "A" [ var "q"; var "m" ] ] (atom "B" [ var "q"; var "m" ]) in
+  Alcotest.(check bool) "plain copy" true (C.is_identity id);
+  let selection =
+    tl
+      [ atom "A" [ var "q"; Term.Const (Value.String "x"); var "m" ] ]
+      (atom "B" [ var "q"; Term.Const (Value.String "x"); var "m" ])
+  in
+  Alcotest.(check bool) "constant selection is not a copy" false (C.is_identity selection);
+  let diagonal =
+    tl [ atom "A" [ var "q"; var "q"; var "m" ] ] (atom "B" [ var "q"; var "q"; var "m" ])
+  in
+  Alcotest.(check bool) "repeated variable is not a copy" false (C.is_identity diagonal);
+  let shifted =
+    tl [ atom "A" [ var "q"; var "m" ] ] (atom "B" [ Term.Shifted (var "q", 1); var "m" ])
+  in
+  Alcotest.(check bool) "shift is not a copy" false (C.is_identity shifted)
+
+(* --- hand-built mappings for the certified rewrites ------------------- *)
+
+let schema name dims = Schema.make ~name ~dims ()
+
+let hand_mapping ~t_tgds ~targets =
+  let a = schema "A" [ ("q", quarter); ("r", Domain.String) ] in
+  {
+    M.Mapping.source = [ a ];
+    target = a :: targets;
+    st_tgds = [];
+    t_tgds;
+    egds = M.Egd.of_schema a :: List.map M.Egd.of_schema targets;
+  }
+
+let instance_a () =
+  let inst = X.Instance.create () in
+  X.Instance.add_relation inst (schema "A" [ ("q", quarter); ("r", Domain.String) ]);
+  List.iter
+    (fun i ->
+      List.iteri
+        (fun j r ->
+          ignore
+            (X.Instance.insert inst "A"
+               [|
+                 Value.Period (Calendar.Period.quarter 2020 i);
+                 Value.String r;
+                 Value.Float (10. +. (3.1 *. float_of_int ((4 * i) + j)));
+               |]))
+        [ "north"; "south" ])
+    [ 1; 2; 3; 4 ];
+  inst
+
+let chase_rel m inst rel =
+  match X.Chase.run m inst with
+  | Ok (j, stats) -> (X.Instance.facts j rel, stats)
+  | Error e -> Alcotest.failf "chase: %s" e
+
+let test_prune_subsumed () =
+  let b = schema "B" [ ("q", quarter); ("r", Domain.String) ] in
+  let keep =
+    tl [ atom "A" [ var "q"; var "r"; var "m" ] ] (atom "B" [ var "q"; var "r"; var "m" ])
+  in
+  let redundant =
+    tl
+      [ atom "A" [ var "q"; var "r"; var "m" ]; atom "A" [ var "q2"; var "r2"; var "m2" ] ]
+      (atom "B" [ var "q"; var "r"; var "m" ])
+  in
+  let m = hand_mapping ~t_tgds:[ keep; redundant ] ~targets:[ b ] in
+  let report = O.run ~fuse:false m in
+  Alcotest.(check int) "one tgd left" 1 (List.length report.O.optimized.M.Mapping.t_tgds);
+  Alcotest.(check bool) "I301 emitted" true
+    (List.exists (fun (a : O.action) -> a.O.code = "I301") report.O.actions);
+  Alcotest.(check (result unit string)) "certificates verify" (Ok ()) (O.verify report);
+  let before, _ = chase_rel m (instance_a ()) "B" in
+  let after, _ = chase_rel report.O.optimized (instance_a ()) "B" in
+  Alcotest.(check int) "same facts" (List.length before) (List.length after)
+
+let test_minimize_and_merge () =
+  let b = schema "B" [ ("q", quarter); ("r", Domain.String) ] in
+  (* duplicate functional atoms: A's egd forces m1 = m2 *)
+  let doubled =
+    tl
+      [ atom "A" [ var "q"; var "r"; var "m1" ]; atom "A" [ var "q"; var "r"; var "m2" ] ]
+      (atom "B" [ var "q"; var "r"; Term.Binapp (Ops.Binop.Add, var "m1", var "m2") ])
+  in
+  let m = hand_mapping ~t_tgds:[ doubled ] ~targets:[ b ] in
+  let report = O.run ~fuse:false m in
+  Alcotest.(check bool) "I303 emitted" true
+    (List.exists (fun (a : O.action) -> a.O.code = "I303") report.O.actions);
+  (match report.O.optimized.M.Mapping.t_tgds with
+  | [ Tgd.Tuple_level { lhs = [ _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "body should shrink to one atom");
+  Alcotest.(check (result unit string)) "certificates verify" (Ok ()) (O.verify report);
+  let before, _ = chase_rel m (instance_a ()) "B" in
+  let after, _ = chase_rel report.O.optimized (instance_a ()) "B" in
+  Alcotest.(check int) "same fact count" (List.length before) (List.length after);
+  List.iter2
+    (fun f1 f2 -> Alcotest.(check bool) "same fact" true (f1 = f2))
+    before after
+
+(* --- the fusion regression: aggregation over a shifted operand -------- *)
+
+let shifted_agg_source =
+  {|
+cube A(q: quarter, r: string);
+S := sum(shift(A, 1), group by q);
+|}
+
+let shifted_agg_mapping () =
+  let checked = Exl.Program.load_exn shifted_agg_source in
+  let { M.Generate.mapping; _ } = check_ok (M.Generate.of_checked checked) in
+  let producer = Option.get (M.Mapping.tgd_for mapping "S__1") in
+  let consumer = Option.get (M.Mapping.tgd_for mapping "S") in
+  (mapping, producer, consumer)
+
+let replace_pair (m : M.Mapping.t) ~producer ~consumer fused =
+  {
+    m with
+    M.Mapping.t_tgds =
+      List.filter_map
+        (fun t ->
+          if t == producer then None
+          else if t == consumer then Some fused
+          else Some t)
+        m.M.Mapping.t_tgds;
+    target = List.filter (fun (s : Schema.t) -> s.Schema.name <> "S__1") m.M.Mapping.target;
+    egds = List.filter (fun (e : M.Egd.t) -> e.M.Egd.relation <> "S__1") m.M.Mapping.egds;
+  }
+
+let test_fuse_step_agg_rewrites_keys () =
+  let _, producer, consumer = shifted_agg_mapping () in
+  match M.Fuse.fuse_step_agg ~producer ~consumer with
+  | None -> Alcotest.fail "shifted producer should fuse into the aggregation"
+  | Some (Tgd.Aggregation { source; group_by; _ }) ->
+      Alcotest.(check string) "reads the base relation" "A" source.Tgd.rel;
+      (* the group-by key must be shifted, not a plain variable *)
+      Alcotest.(check bool) "group-by key rewritten" true
+        (List.for_all (fun t -> not (Term.is_var t)) group_by)
+  | Some _ -> Alcotest.fail "fusion of an aggregation should stay an aggregation"
+
+let test_naive_agg_fusion_changes_semantics () =
+  let m, producer, consumer = shifted_agg_mapping () in
+  let correct = Option.get (M.Fuse.fuse_step_agg ~producer ~consumer) in
+  (* the historical bug this PR fixes: substitute the source atom
+     without rewriting the group-by keys through the unifier *)
+  let naive =
+    match (producer, consumer) with
+    | Tgd.Tuple_level { lhs = [ p_atom ]; _ }, Tgd.Aggregation { aggr; target; _ } ->
+        let q = match p_atom.Tgd.args with t :: _ -> t | [] -> assert false in
+        let measure =
+          match List.rev p_atom.Tgd.args with
+          | Term.Var mv :: _ -> mv
+          | _ -> assert false
+        in
+        Tgd.Aggregation { source = p_atom; group_by = [ q ]; aggr; measure; target }
+    | _ -> Alcotest.fail "unexpected tgd shapes"
+  in
+  let reg = Registry.create () in
+  Registry.add reg Registry.Elementary
+    (cube_of "A"
+       [ ("q", quarter); ("r", Domain.String) ]
+       [
+         [ vq 2020 1; vs "north"; vf 1.0 ];
+         [ vq 2020 1; vs "south"; vf 2.0 ];
+         [ vq 2020 2; vs "north"; vf 40.0 ];
+         [ vq 2020 2; vs "south"; vf 50.0 ];
+       ]);
+  let run m' =
+    match X.Chase.run m' (X.Instance.of_registry reg) with
+    | Ok (j, _) -> X.Instance.facts j "S"
+    | Error e -> Alcotest.failf "chase: %s" e
+  in
+  let reference = run m in
+  let fused_facts = run (replace_pair m ~producer ~consumer correct) in
+  let naive_facts = run (replace_pair m ~producer ~consumer naive) in
+  Alcotest.(check bool) "correct fusion preserves S" true (reference = fused_facts);
+  Alcotest.(check bool) "naive fusion changes S" true (reference <> naive_facts);
+  (* and the verified fusion driver keeps only rewrites the
+     equivalence checker accepts *)
+  let verify ~before ~after =
+    match O.equivalent_on_critical before after with Ok _ -> true | Error _ -> false
+  in
+  let safe = M.Fuse.mapping ~verify m in
+  Alcotest.(check bool) "safe fusion ran to completion" true
+    (List.length safe.M.Mapping.t_tgds <= List.length m.M.Mapping.t_tgds)
+
+(* --- the overview pipeline end to end -------------------------------- *)
+
+let overview_mapping () =
+  let checked = load_overview () in
+  let { M.Generate.mapping; _ } = check_ok (M.Generate.of_checked checked) in
+  mapping
+
+let test_optimize_overview () =
+  let m = overview_mapping () in
+  let report = O.run m in
+  Alcotest.(check bool) "tgds eliminated" true
+    (List.length report.O.optimized.M.Mapping.t_tgds < List.length m.M.Mapping.t_tgds);
+  Alcotest.(check bool) "fusion certificates present" true
+    (List.exists (fun (a : O.action) -> a.O.code = "I304") report.O.actions);
+  Alcotest.(check bool) "duplicate-atom merge fired on the PCHNG chain" true
+    (List.exists (fun (a : O.action) -> a.O.code = "I303") report.O.actions);
+  Alcotest.(check bool) "cost estimate improves" true (report.O.est_after < report.O.est_before);
+  Alcotest.(check (result unit string)) "all certificates verify" (Ok ()) (O.verify report);
+  (* the optimized mapping computes the same cubes on real data *)
+  let reg = overview_registry () in
+  let j1 =
+    match X.Chase.run m (X.Instance.of_registry reg) with
+    | Ok (j, _) -> j
+    | Error e -> Alcotest.failf "chase original: %s" e
+  in
+  let j2, stats2 =
+    match X.Chase.run report.O.optimized (X.Instance.of_registry reg) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "chase optimized: %s" e
+  in
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq name
+        (X.Instance.cube_of_relation j1 name)
+        (X.Instance.cube_of_relation j2 name))
+    [ "PQR"; "RGDP"; "GDP"; "GDPT"; "PCHNG" ];
+  (* the laconic effect: the optimized chase emits no temporary facts *)
+  Alcotest.(check int) "no non-core facts" 0 stats2.X.Chase.nulls_created
+
+let test_nulls_created_counts_temps () =
+  let m = overview_mapping () in
+  let _, stats = chase_rel m (X.Instance.of_registry (overview_registry ())) "PCHNG" in
+  Alcotest.(check bool) "unoptimized chase pads temporaries" true
+    (stats.X.Chase.nulls_created > 0)
+
+let test_tampered_certificate_rejected () =
+  let report = O.run (overview_mapping ()) in
+  let tampered =
+    {
+      report with
+      O.actions =
+        List.map
+          (fun (a : O.action) ->
+            match a.O.certificate with
+            | O.Determination { chain } when chain <> [] ->
+                { a with O.certificate = O.Determination { chain = [ "bogus" ] } }
+            | _ -> a)
+          report.O.actions;
+    }
+  in
+  Alcotest.(check bool) "bogus determination chain rejected" true
+    (Result.is_error (O.verify tampered))
+
+let test_optimizer_report_json () =
+  let report = O.run (overview_mapping ()) in
+  let json = O.report_to_json report in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains json needle))
+    [ {|"actions":[|}; {|"kind":"fusion_equivalence"|}; {|"est_matches_before"|}; {|"tgds_after"|} ]
+
+(* --- engine wiring ---------------------------------------------------- *)
+
+let test_engine_optimize_flag () =
+  let run_with optimize =
+    let config = { Engine.Exlengine.default_config with optimize } in
+    let t = Engine.Exlengine.create ~config () in
+    ok_s (Engine.Exlengine.register_program t ~name:"overview" overview_program);
+    let reg = overview_registry () in
+    List.iter
+      (fun name -> ok_s (Engine.Exlengine.load_elementary t (Registry.find_exn reg name)))
+      [ "PDR"; "RGDPPC" ];
+    ignore (ok_s (Engine.Exlengine.recompute t));
+    match Engine.Exlengine.cube t "PCHNG" with
+    | Some c -> c
+    | None -> Alcotest.fail "PCHNG not recomputed"
+  in
+  Alcotest.check cube_eq "same PCHNG with and without the optimizer" (run_with false)
+    (run_with true)
+
+(* --- docs drift -------------------------------------------------------- *)
+
+let is_code s =
+  String.length s = 4
+  && (match s.[0] with 'E' | 'W' | 'I' -> true | _ -> false)
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 3)
+
+let test_diagnostics_docs_drift () =
+  let doc =
+    (* cwd is _build/default/test under [dune runtest] but the project
+       root under [dune exec test/main.exe] (the CI drills) *)
+    let path =
+      List.find Sys.file_exists
+        [ "../docs/DIAGNOSTICS.md"; "docs/DIAGNOSTICS.md" ]
+    in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* every documented code (a `| Wxxx |` table row) is in the catalogue,
+     and every catalogue code has a table row *)
+  let documented =
+    String.split_on_char '\n' doc
+    |> List.filter_map (fun line ->
+           match String.split_on_char '|' line with
+           | "" :: cell :: _ ->
+               let c = String.trim cell in
+               if is_code c then Some c else None
+           | _ -> None)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string))
+    "docs/DIAGNOSTICS.md and Diagnostic.catalogue agree" documented
+    (List.sort_uniq compare A.Diagnostic.known_codes);
+  (* and every code has a one-line description for `lint --explain` *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " has a description") true
+        (A.Diagnostic.description c <> None))
+    A.Diagnostic.known_codes
+
+(* --- the property: chase(optimize m) == chase m ----------------------- *)
+
+let qcheck_count =
+  match Option.bind (Sys.getenv_opt "EXL_OPT_QCHECK_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 30
+
+let prop_optimize_preserves_chase =
+  QCheck.Test.make ~count:qcheck_count
+    ~name:"chase(optimize m) == chase m on random programs" Gen.arb_seed (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      match Exl.Program.load src with
+      | Error e ->
+          QCheck.Test.fail_reportf "generated program does not check: %s\n%s"
+            (Exl.Errors.to_string e) src
+      | Ok checked -> (
+          let { M.Generate.mapping; _ } = check_ok (M.Generate.of_checked checked) in
+          let report = O.run mapping in
+          (match O.verify report with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "certificate rejected: %s\n%s" msg src);
+          match
+            ( X.Chase.run mapping (X.Instance.of_registry reg),
+              X.Chase.run report.O.optimized (X.Instance.of_registry reg) )
+          with
+          | Ok (j1, _), Ok (j2, _) ->
+              List.iter
+                (fun (s : Schema.t) ->
+                  let name = s.Schema.name in
+                  if
+                    not
+                      (Cube.equal_data ~eps:1e-7
+                         (X.Instance.cube_of_relation j1 name)
+                         (X.Instance.cube_of_relation j2 name))
+                  then QCheck.Test.fail_reportf "relation %s differs on\n%s" name src)
+                report.O.optimized.M.Mapping.target;
+              true
+          | Error e, _ | _, Error e ->
+              QCheck.Test.fail_reportf "chase failed: %s\n%s" e src))
+
+let suite =
+  [
+    ("containment: subsumption", `Quick, test_subsumes);
+    ("containment: redundant atom", `Quick, test_redundant_atom);
+    ("containment: egd merge", `Quick, test_mergeable_atoms);
+    ("containment: fd chase", `Quick, test_fd_determines);
+    ("containment: identity", `Quick, test_is_identity);
+    ("optimize: prune subsumed (I301)", `Quick, test_prune_subsumed);
+    ("optimize: minimize + merge (I303)", `Quick, test_minimize_and_merge);
+    ("fuse: agg step rewrites keys", `Quick, test_fuse_step_agg_rewrites_keys);
+    ("fuse: naive agg fusion is wrong", `Quick, test_naive_agg_fusion_changes_semantics);
+    ("optimize: overview end to end", `Quick, test_optimize_overview);
+    ("chase: nulls_created counts temps", `Quick, test_nulls_created_counts_temps);
+    ("optimize: tampered certificate rejected", `Quick, test_tampered_certificate_rejected);
+    ("optimize: json report", `Quick, test_optimizer_report_json);
+    ("engine: optimize flag A/B", `Quick, test_engine_optimize_flag);
+    ("docs: diagnostics catalogue drift", `Quick, test_diagnostics_docs_drift);
+    QCheck_alcotest.to_alcotest prop_optimize_preserves_chase;
+  ]
