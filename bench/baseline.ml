@@ -197,6 +197,97 @@ let run_incr base_path =
       end
       else print_endline "\nno regressions."
 
+(* --- the columnar guard (`bench --guard-col`) ---
+
+   Re-measures the X13 columnar-vs-row chase rows against
+   BENCH_PR7.json.  A row regresses when
+
+   - its [matches_examined] moved more than 25% in either direction
+     (the counter is deterministic and identical on both paths, so
+     drift is an algorithmic change), or
+   - the columnar speedup fell below the 2x floor the acceptance
+     criterion demands.  The speedup is a ratio of two wall-clock
+     medians measured back to back in the same process, so a slow or
+     throttled CI runner (which slows both paths alike) cannot fail
+     the build — only the vectorized kernels actually losing their
+     edge can. *)
+
+let col_speedup_floor = 2.0
+
+type col_base = {
+  col_label : string;
+  base_col_matches : float;
+  base_col_speedup : float;
+}
+
+let col_base_rows json =
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Obs.Json.member "label" entry) Obs.Json.string_value,
+          Option.bind (Obs.Json.member "matches_examined" entry) Obs.Json.number,
+          Option.bind (Obs.Json.member "speedup" entry) Obs.Json.number )
+      with
+      | Some col_label, Some base_col_matches, Some base_col_speedup ->
+          Some { col_label; base_col_matches; base_col_speedup }
+      | _ -> None)
+    (match Obs.Json.member "col" json with
+    | Some rows -> Obs.Json.elements rows
+    | None -> [])
+
+let run_col base_path =
+  match Obs.Json.parse (read_file base_path) with
+  | Error msg ->
+      Printf.eprintf "guard-col: cannot parse %s: %s\n" base_path msg;
+      exit 1
+  | Ok json ->
+      let base = col_base_rows json in
+      if base = [] then begin
+        Printf.eprintf "guard-col: no col rows in %s\n" base_path;
+        exit 1
+      end;
+      Printf.printf
+        "columnar regression guard vs %s (tolerance %.0f%%, speedup floor \
+         %.1fx)\n\n"
+        base_path (tolerance *. 100.) col_speedup_floor;
+      let current = Experiments.col_rows () in
+      let failures = ref 0 in
+      let check row =
+        match
+          List.find_opt
+            (fun (c : Experiments.col_row) ->
+              c.Experiments.col_label = row.col_label)
+            current
+        with
+        | None ->
+            incr failures;
+            Printf.printf "  FAIL %-32s row no longer measured\n" row.col_label
+        | Some c ->
+            let cur_matches = float_of_int c.Experiments.col_matches in
+            let cur_speedup = c.Experiments.col_speedup in
+            let matches_ok =
+              cur_matches <= row.base_col_matches *. (1. +. tolerance)
+              && cur_matches >= row.base_col_matches *. (1. -. tolerance)
+            in
+            let speedup_ok = cur_speedup >= col_speedup_floor in
+            if not (matches_ok && speedup_ok) then incr failures;
+            Printf.printf
+              "  %s %-32s matches %.0f -> %.0f%s; speedup %.2fx -> %.2fx%s\n"
+              (if matches_ok && speedup_ok then "ok  " else "FAIL")
+              row.col_label row.base_col_matches cur_matches
+              (if matches_ok then "" else " (moved > tolerance)")
+              row.base_col_speedup cur_speedup
+              (if speedup_ok then ""
+               else
+                 Printf.sprintf " (below the %.1fx floor)" col_speedup_floor)
+      in
+      List.iter check base;
+      if !failures > 0 then begin
+        Printf.printf "\n%d row(s) regressed.\n" !failures;
+        exit 1
+      end
+      else print_endline "\nno regressions."
+
 (* --- the optimizer guard (`bench --guard-opt`) ---
 
    Re-measures the X12 unoptimized-vs-optimized chase rows against

@@ -243,6 +243,41 @@ let run_json_opt path =
   Printf.printf "wrote %s\n" path;
   Experiments.print_opt_rows rows
 
+(* --- columnar baseline (BENCH_PR7.json) --- *)
+
+let json_sample (s : Experiments.sample) =
+  Printf.sprintf "\"seconds\": %s, \"spread_pct\": %s, \"reps\": %d"
+    (json_float s.Experiments.median_seconds)
+    (json_float s.Experiments.spread_pct)
+    s.Experiments.sample_reps
+
+let run_json_col path =
+  let rows = Experiments.col_rows () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"pr\": 7,\n  \"col\": [\n";
+  List.iteri
+    (fun i (r : Experiments.col_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\",\n\
+           \     \"row\": {%s},\n\
+           \     \"col\": {%s},\n\
+           \     \"speedup\": %s,\n\
+           \     \"matches_examined\": %d, \"tuples_generated\": %d}%s\n"
+           (json_escape r.Experiments.col_label)
+           (json_sample r.Experiments.row_wall)
+           (json_sample r.Experiments.col_wall)
+           (json_float r.Experiments.col_speedup)
+           r.Experiments.col_matches r.Experiments.col_tuples
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Experiments.print_col_rows rows
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -258,6 +293,7 @@ let () =
   | _ :: "x10" :: _ -> Experiments.x10 ()
   | _ :: "x11" :: _ -> Experiments.x11 ()
   | _ :: "x12" :: _ -> Experiments.x12 ()
+  | _ :: "x13" :: _ -> Experiments.x13 ()
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "--json" :: rest ->
       run_json (match rest with path :: _ -> path | [] -> "BENCH_PR4.json")
@@ -270,6 +306,12 @@ let () =
   | _ :: "--guard-incr" :: rest ->
       Baseline.run_incr
         (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
+  | _ :: "--json-col" :: rest ->
+      run_json_col
+        (match rest with path :: _ -> path | [] -> "BENCH_PR7.json")
+  | _ :: "--guard-col" :: rest ->
+      Baseline.run_col
+        (match rest with path :: _ -> path | [] -> "BENCH_PR7.json")
   | _ :: "--json-opt" :: rest ->
       run_json_opt
         (match rest with path :: _ -> path | [] -> "BENCH_PR6.json")

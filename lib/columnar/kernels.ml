@@ -1,0 +1,185 @@
+(* Vectorized kernels over encoded columns: key packing, grouping,
+   segmented gather, and int-keyed hash join.  Everything here works on
+   plain int/float arrays — no [Value.t] or [Tuple.t] allocation per
+   row — and leaves semantics (term evaluation, error precedence,
+   emission) to the caller, which replays the row engine's rules. *)
+
+(* ----- mixed-radix key packing ----- *)
+
+(* Combine per-column codes into one int key per row:
+   key = c0 + r0*(c1 + r1*(c2 + ...)), exact (no collisions) because
+   each code is < its radix.  [None] when the combined key space would
+   overflow 62-bit ints — callers fall back to the row path.  A
+   negative input code (a probe value absent from the build-side
+   dictionary) poisons its row's key to -1, which every consumer
+   treats as "matches nothing". *)
+let pack ~nrows (cols : int array array) (radices : int array) =
+  let ncols = Array.length cols in
+  if ncols = 0 then None
+  else
+    let max_key = max_int / 2 in
+    let space = ref 1 in
+    let overflow = ref false in
+    Array.iter
+      (fun radix ->
+        if radix <= 0 then overflow := true
+        else if !space > max_key / radix then overflow := true
+        else space := !space * radix)
+      radices;
+    if !overflow then None
+    else begin
+      let keys = Array.make nrows 0 in
+      for r = 0 to nrows - 1 do
+        let key = ref 0 and stride = ref 1 and poisoned = ref false in
+        for i = 0 to ncols - 1 do
+          let c = cols.(i).(r) in
+          if c < 0 then poisoned := true
+          else begin
+            key := !key + (c * !stride);
+            stride := !stride * radices.(i)
+          end
+        done;
+        keys.(r) <- (if !poisoned then -1 else !key)
+      done;
+      Some keys
+    end
+
+(* Dense int keys for one row set: packed when the key space fits,
+   otherwise renumbered through a composite-key table — so callers
+   never fall back to row-at-a-time processing on wide keys. *)
+let dense_keys ~nrows (cols : int array array) (radices : int array) =
+  if Array.length cols = 0 then Array.make nrows 0
+  else
+    match pack ~nrows cols radices with
+    | Some keys -> keys
+    | None ->
+        let ncols = Array.length cols in
+        let tbl : (int array, int) Hashtbl.t = Hashtbl.create (max 64 nrows) in
+        let next = ref 0 in
+        Array.init nrows (fun r ->
+            let key = Array.init ncols (fun i -> cols.(i).(r)) in
+            if Array.exists (fun c -> c < 0) key then -1
+            else
+              match Hashtbl.find_opt tbl key with
+              | Some id -> id
+              | None ->
+                  let id = !next in
+                  incr next;
+                  Hashtbl.replace tbl key id;
+                  id)
+
+(* Dense keys for a build/probe pair sharing one key space: probe-side
+   composites never seen on the build side map to -1 (match nothing),
+   mirroring a hash-index miss. *)
+let joined_keys ~(build_cols : int array array) ~(probe_cols : int array array)
+    ~nbuild ~nprobe (radices : int array) =
+  match (pack ~nrows:nbuild build_cols radices, pack ~nrows:nprobe probe_cols radices)
+  with
+  | Some bk, Some pk -> (bk, pk)
+  | _ ->
+      let ncols = Array.length build_cols in
+      let tbl : (int array, int) Hashtbl.t = Hashtbl.create (max 64 nbuild) in
+      let next = ref 0 in
+      let bk =
+        Array.init nbuild (fun r ->
+            let key = Array.init ncols (fun i -> build_cols.(i).(r)) in
+            if Array.exists (fun c -> c < 0) key then -1
+            else
+              match Hashtbl.find_opt tbl key with
+              | Some id -> id
+              | None ->
+                  let id = !next in
+                  incr next;
+                  Hashtbl.replace tbl key id;
+                  id)
+      in
+      let pk =
+        Array.init nprobe (fun r ->
+            let key = Array.init ncols (fun i -> probe_cols.(i).(r)) in
+            if Array.exists (fun c -> c < 0) key then -1
+            else Option.value ~default:(-1) (Hashtbl.find_opt tbl key))
+      in
+      (bk, pk)
+
+(* ----- grouping ----- *)
+
+type groups = {
+  gids : int array;  (* row -> group id, ids issued in first-seen row order *)
+  n_groups : int;
+  rep_rows : int array;  (* group id -> first row carrying it *)
+}
+
+let group (keys : int array) =
+  let nrows = Array.length keys in
+  let ids : (int, int) Hashtbl.t = Hashtbl.create (max 16 (nrows / 4)) in
+  let gids = Array.make nrows 0 in
+  let reps = ref [] in
+  let n = ref 0 in
+  for r = 0 to nrows - 1 do
+    let key = keys.(r) in
+    match Hashtbl.find_opt ids key with
+    | Some g -> gids.(r) <- g
+    | None ->
+        let g = !n in
+        Hashtbl.replace ids key g;
+        gids.(r) <- g;
+        reps := r :: !reps;
+        incr n
+  done;
+  let n_groups = !n in
+  let rep_rows = Array.make (max 1 n_groups) 0 in
+  List.iter (fun r -> rep_rows.(gids.(r)) <- r) !reps;
+  { gids; n_groups; rep_rows }
+
+(* Stable segmented gather: bucket [values] by group id, preserving
+   row order within each group (so per-group accumulation replays the
+   row engine's bag order exactly).  Returns [(offsets, data)] with
+   group [g]'s values in [data.(offsets.(g)) .. data.(offsets.(g+1))-1]. *)
+let segment { gids; n_groups; _ } (values : float array) =
+  let nrows = Array.length gids in
+  let counts = Array.make (n_groups + 1) 0 in
+  for r = 0 to nrows - 1 do
+    let g = gids.(r) in
+    counts.(g) <- counts.(g) + 1
+  done;
+  let offsets = Array.make (n_groups + 1) 0 in
+  for g = 1 to n_groups do
+    offsets.(g) <- offsets.(g - 1) + counts.(g - 1)
+  done;
+  let cursor = Array.copy offsets in
+  let data = Array.make nrows 0. in
+  for r = 0 to nrows - 1 do
+    let g = gids.(r) in
+    data.(cursor.(g)) <- values.(r);
+    cursor.(g) <- cursor.(g) + 1
+  done;
+  (offsets, data)
+
+(* ----- int-keyed hash join ----- *)
+
+(* Build a multimap over [build_keys], then probe with [probe_keys] in
+   row order, calling [f probe_row build_row] per matching pair.
+   Negative keys never match (build rows are skipped, probe rows find
+   nothing).  [on_probe probe_row bucket_size] fires once per
+   non-poisoned probe row before its pairs — the hook the chase uses
+   to count examined candidates exactly like the row path's indexed
+   lookups. *)
+let hash_join ~(build_keys : int array) ~(probe_keys : int array)
+    ?(on_probe = fun _ _ -> ()) f =
+  let nbuild = Array.length build_keys in
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create (max 16 nbuild) in
+  for br = 0 to nbuild - 1 do
+    let k = build_keys.(br) in
+    if k >= 0 then
+      Hashtbl.replace tbl k
+        (br :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  done;
+  for pr = 0 to Array.length probe_keys - 1 do
+    let k = probe_keys.(pr) in
+    if k >= 0 then begin
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      on_probe pr (List.length bucket);
+      List.iter (fun br -> f pr br) bucket
+    end
+    else on_probe pr 0
+  done

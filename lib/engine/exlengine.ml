@@ -14,6 +14,9 @@ type config = {
   optimize : bool;
       (* run the exl-opt containment pass on generated mappings before
          chasing them; on by default, opt out for A/B runs *)
+  columnar : bool;
+      (* chase through the vectorized column-batch kernels; on by
+         default, opt out for A/B runs against the row path *)
 }
 
 let default_config =
@@ -26,6 +29,7 @@ let default_config =
     retry = Dispatcher.default_retry;
     faults = None;
     optimize = true;
+    columnar = true;
   }
 
 (* The solution cache of the incremental path: the chase instance a
@@ -262,7 +266,7 @@ let rebuild_solution t covered =
         else generated
       in
       let source = Exchange.Instance.of_registry t.store in
-      match Exchange.Chase.run mapping source with
+      match Exchange.Chase.run ~columnar:t.config.columnar mapping source with
       | Error _ as e -> e
       | Ok (instance, stats) ->
           let sol =

@@ -25,6 +25,11 @@ type config = {
           generated mappings before chasing them.  On by default; the
           optimized mapping is what gets chased, cached, and repaired
           incrementally. *)
+  columnar : bool;
+      (** Chase through the vectorized column-batch kernels
+          ({!Exchange.Chase.run}'s [columnar]).  On by default —
+          solutions and counters are identical to the row path; opt
+          out for A/B comparisons. *)
 }
 
 val default_config : config

@@ -394,15 +394,32 @@ let apply_outer_combine ~out instance stats on_new (left : Tgd.atom)
 
 (* [out] is where derived facts land; reads go to [instance].  They
    coincide everywhere except the naive driver, whose Jacobi rounds
-   read a frozen snapshot while writing the live instance. *)
-let apply_body_full ~matcher ?out instance stats on_new tgd =
+   read a frozen snapshot while writing the live instance.
+   [vectorized] routes kernel-able tgds through the columnar engine
+   (reads and writes must coincide — the batch is the frozen view);
+   shapes the kernels do not handle fall through to the row matcher. *)
+let apply_body_full ~matcher ?(vectorized = false) ?out instance stats on_new
+    tgd =
   let out = Option.value ~default:instance out in
+  let vectorize () =
+    vectorized && out == instance
+    && Vchase.apply
+         {
+           Vchase.read = instance;
+           count =
+             (fun n -> stats.matches_examined <- stats.matches_examined + n);
+           emit = (fun rel values -> emit_fact out stats on_new rel values);
+         }
+         tgd
+  in
   match tgd with
   | Tgd.Tuple_level { lhs; rhs } ->
-      apply_tuple_level ~matcher ~out instance stats on_new lhs rhs
+      if not (vectorize ()) then
+        apply_tuple_level ~matcher ~out instance stats on_new lhs rhs
   | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
-      apply_aggregation ~out instance stats on_new source group_by aggr measure
-        target
+      if not (vectorize ()) then
+        apply_aggregation ~out instance stats on_new source group_by aggr
+          measure target
   | Tgd.Table_fn { fn; params; source; target } ->
       apply_table_fn ~out instance stats on_new fn params source target
   | Tgd.Outer_combine { left; right; op; default; target } ->
@@ -414,7 +431,7 @@ let wrap_chase f =
     f ();
     Ok ()
   with
-  | Chase_error msg -> Error msg
+  | Chase_error msg | Vchase.Error msg -> Error msg
   | Cube.Functionality_violation { cube; key } ->
       Error
         (Printf.sprintf "functionality violation in %s at %s" cube
@@ -555,13 +572,14 @@ let run_naive ~check_egds (m : Mappings.Mapping.t) target stats =
 
 (* ----- the semi-naive stratified chase ----- *)
 
-let apply_full_collect instance tgd =
+let apply_full_collect ~vectorized instance tgd =
   let local = empty_stats () in
   let added = ref [] in
   let on_new rel fact = added := (rel, fact) :: !added in
   let res =
     wrap_chase (fun () ->
-        apply_body_full ~matcher:indexed_matcher instance local on_new tgd;
+        apply_body_full ~matcher:indexed_matcher ~vectorized instance local
+          on_new tgd;
         local.tgds_applied <- local.tgds_applied + 1)
   in
   (res, local, List.rev !added)
@@ -685,17 +703,25 @@ let delta_rounds ?(on_new = fun _ _ -> ()) instance stats stratum seed
   in
   loop seed start_round
 
-let run_stratum ~executor instance stats stratum =
-  (* Pre-build every persistent index round one will probe, so the
-     parallel phase only ever reads the shared relations. *)
+let run_stratum ~executor ~columnar instance stats stratum =
+  (* Pre-build what round one will probe, so the parallel phase only
+     ever reads the shared relations: source batches (and their
+     append-only dictionaries) for kernel-handled tgds, persistent
+     indexes for the rest.  [Vchase.handles] depends only on schemas
+     and tgd shape, both fixed for the stratum, so a handled tgd is
+     guaranteed to take the batch path in round one. *)
   List.iter
     (fun tgd ->
-      match tgd with
-      | Tgd.Tuple_level { lhs; _ } ->
-          List.iter
-            (fun (rel, positions) -> Instance.ensure_index instance rel positions)
-            (index_needs lhs)
-      | _ -> ())
+      if columnar && Vchase.handles instance tgd then
+        Vchase.prewarm instance tgd
+      else
+        match tgd with
+        | Tgd.Tuple_level { lhs; _ } ->
+            List.iter
+              (fun (rel, positions) ->
+                Instance.ensure_index instance rel positions)
+              (index_needs lhs)
+        | _ -> ())
     stratum;
   (* Round one: full evaluation, seeded by the whole instance.  Tgds of
      a stratum have pairwise distinct targets and read only lower
@@ -715,7 +741,7 @@ let run_stratum ~executor instance stats stratum =
   let collect tgd =
     Obs.with_span "chase.tgd"
       ~attrs:[ ("target", Tgd.target_relation tgd) ]
-      (fun () -> apply_full_collect instance tgd)
+      (fun () -> apply_full_collect ~vectorized:columnar instance tgd)
   in
   let outcomes =
     Obs.with_span "chase.round"
@@ -775,7 +801,8 @@ let strata_of (m : Mappings.Mapping.t) =
          then compute the actual fixpoint. *)
       match m.Mappings.Mapping.t_tgds with [] -> [] | tgds -> [ tgds ])
 
-let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
+let run_semi_naive ~check_egds ~executor ~columnar (m : Mappings.Mapping.t)
+    target stats =
   let strata = strata_of m in
   let rec loop i = function
     | [] -> Ok ()
@@ -787,7 +814,7 @@ let run_semi_naive ~check_egds ~executor (m : Mappings.Mapping.t) target stats =
                 ("stratum", string_of_int i);
                 ("tgds", string_of_int (List.length stratum));
               ]
-            (fun () -> run_stratum ~executor target stats stratum)
+            (fun () -> run_stratum ~executor ~columnar target stats stratum)
         with
         | Error _ as e -> e
         | Ok () -> (
@@ -810,7 +837,8 @@ let static_check : (Mappings.Mapping.t -> (unit, string) result) ref =
 let sequential_executor tasks = List.iter (fun task -> task ()) tasks
 
 let run ?(check_egds = true) ?(mode = Semi_naive)
-    ?(executor = sequential_executor) (m : Mappings.Mapping.t) source =
+    ?(executor = sequential_executor) ?(columnar = true)
+    (m : Mappings.Mapping.t) source =
   match !static_check m with
   | Error msg -> Error ("static check failed before chase: " ^ msg)
   | Ok () ->
@@ -818,15 +846,30 @@ let run ?(check_egds = true) ?(mode = Semi_naive)
       let target = Instance.create () in
       List.iter (Instance.add_relation target) m.Mappings.Mapping.target;
       (* Σst: copy the source relations into the target (the paper keeps
-         the same symbols for a relation and its copy; so do we). *)
+         the same symbols for a relation and its copy; so do we).  On
+         the columnar path a source relation whose target schema
+         matches is installed as a shared column batch — O(columns),
+         with the encode memoized on the source across runs — and its
+         target rows rebuild lazily only if something needs tuple-level
+         access. *)
       List.iter
         (fun schema ->
           let name = schema.Schema.name in
           match Instance.schema source name with
           | None -> ()
-          | Some _ ->
-              Instance.iter_facts source name (fun fact ->
-                  ignore (Instance.insert target name (Array.copy fact))))
+          | Some src_schema ->
+              let batched =
+                columnar && mode = Semi_naive
+                &&
+                match Instance.schema target name with
+                | Some tgt_schema -> Schema.equal tgt_schema src_schema
+                | None -> false
+              in
+              if batched then
+                Instance.set_batch target name (Instance.batch source name)
+              else
+                Instance.iter_facts source name (fun fact ->
+                    ignore (Instance.insert target name (Array.copy fact))))
         m.Mappings.Mapping.source;
       let builds0, lookups0 = Instance.index_stats () in
       let result =
@@ -844,7 +887,8 @@ let run ?(check_egds = true) ?(mode = Semi_naive)
           (fun () ->
             match mode with
             | Naive -> run_naive ~check_egds m target stats
-            | Semi_naive -> run_semi_naive ~check_egds ~executor m target stats)
+            | Semi_naive ->
+                run_semi_naive ~check_egds ~executor ~columnar m target stats)
       in
       (* Aggregated flush: the hot match loops touch only the local
          [stats] record; the metrics registry sees one update per run. *)
@@ -969,7 +1013,10 @@ let incr_rederive_stratum ~executor instance stats istats selected =
       targets
   in
   List.iter (fun rel -> Instance.clear instance rel) targets;
-  match run_stratum ~executor instance stats selected with
+  (* Vectorized like a full run: the cached solution this repairs was
+     produced by the (columnar-default) [run], and the incremental
+     speedup floor is measured against that same baseline. *)
+  match run_stratum ~executor ~columnar:true instance stats selected with
   | Error _ as e -> e
   | Ok () ->
       Ok

@@ -53,6 +53,7 @@ val run :
   ?check_egds:bool ->
   ?mode:mode ->
   ?executor:((unit -> unit) list -> unit) ->
+  ?columnar:bool ->
   Mappings.Mapping.t ->
   Instance.t ->
   (Instance.t * stats, string) result
@@ -66,7 +67,17 @@ val run :
     pool's [run_all] can be supplied to evaluate them in parallel.  All
     persistent indexes a stratum needs are built before the executor is
     invoked, so tasks only read shared relations and write their own
-    target. *)
+    target.
+
+    [columnar] (default [true], semi-naive mode only) routes
+    kernel-able tgds — all-variable selections/projections, two-atom
+    equi-joins, dimension-keyed aggregations — through vectorized
+    kernels over dictionary-encoded column batches, and installs Σst
+    source copies as shared batches instead of row-by-row.  The
+    solution, the result, and every [stats] counter are identical to
+    the row path's (the kernels replay its iteration order, counting,
+    and error rules); only wall-clock time and index telemetry
+    differ. *)
 
 type fact_delta = { added : Instance.fact list; removed : Instance.fact list }
 (** A change to one relation's fact set.  A revision of a key is its

@@ -2,34 +2,65 @@ open Matrix
 
 type fact = Value.t array
 
+(* A relation's contents live in exactly one of two states:
+
+   - [pending = Some batch], row stores empty: the relation was
+     installed wholesale as a column batch ([set_batch], the chase's
+     Σst source copy) and no tuple-level access has happened yet.
+     Whole-relation reads ([facts], [iter_facts], [cardinality]) are
+     served straight from the batch; the first row-level operation
+     ([mem], [insert], [remove], index access) materializes the rows.
+
+   - [pending = None]: the classic hashed row stores are live.
+
+   [cache] memoizes the columnar view of the current contents (it
+   equals [pending] while that is set); any mutation drops it.
+
+   Snapshots ([copy]) share the secondary-index table copy-on-write:
+   both sides keep the pointer and a [shared_indexes] flag, and the
+   first side to mutate detaches onto a fresh empty table, rebuilding
+   lazily via [ensure_index].  Batches and dictionaries are immutable
+   /append-only and are always shared. *)
 type relation = {
   schema : Schema.t;
   store : unit Tuple.Table.t;
   by_dims : Value.t array Tuple.Table.t;
       (* dimension prefix -> full fact; last writer wins, which under
          functionality (checked separately) is the only fact *)
-  indexes : (int list, fact list Tuple.Table.t) Hashtbl.t;
+  mutable indexes : (int list, fact list Tuple.Table.t) Hashtbl.t;
       (* persistent secondary indexes: sorted position list -> (values
          at those positions -> facts); created lazily by [ensure_index]
          and maintained by every later insert/remove *)
+  mutable shared_indexes : bool;
+  mutable pending : Columnar.Batch.t option;
+  mutable cache : Columnar.Batch.t option;
 }
 
-type t = (string, relation) Hashtbl.t
+type t = {
+  rels : (string, relation) Hashtbl.t;
+  pool : Columnar.Dict.pool;
+      (* per-instance dictionaries, one per domain: every batch encoded
+         for this instance shares codes per domain, so same-domain
+         columns join by int comparison *)
+}
 
-let create () = Hashtbl.create 32
+let create () = { rels = Hashtbl.create 32; pool = Columnar.Dict.create_pool () }
 
 let add_relation t schema =
   let name = schema.Schema.name in
-  if not (Hashtbl.mem t name) then
-    Hashtbl.replace t name
+  if not (Hashtbl.mem t.rels name) then
+    Hashtbl.replace t.rels name
       {
         schema;
         store = Tuple.Table.create 64;
         by_dims = Tuple.Table.create 64;
         indexes = Hashtbl.create 4;
+        shared_indexes = false;
+        pending = None;
+        cache = None;
       }
 
-let schema t name = Option.map (fun r -> r.schema) (Hashtbl.find_opt t name)
+let schema t name = Option.map (fun r -> r.schema) (Hashtbl.find_opt t.rels name)
 
 let schema_exn t name =
   match schema t name with
@@ -37,23 +68,45 @@ let schema_exn t name =
   | None -> invalid_arg ("Instance.schema_exn: unknown relation " ^ name)
 
 let relations t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [] |> List.sort String.compare
 
 let relation_exn t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.rels name with
   | Some r -> r
   | None -> invalid_arg ("Instance: unknown relation " ^ name)
 
-(* Process-global index telemetry.  [t] is a bare hashtable, so the
-   counters live here; readers snapshot before/after a chase run and
-   report the delta (see Chase).  Atomics: indexes are built from pool
-   worker domains. *)
+(* Process-global index telemetry; readers snapshot before/after a
+   chase run and report the delta (see Chase).  Atomics: indexes are
+   built from pool worker domains. *)
 let index_builds = Atomic.make 0
 let index_lookups = Atomic.make 0
 let index_stats () = (Atomic.get index_builds, Atomic.get index_lookups)
 
 let index_key positions (fact : fact) =
   Tuple.of_list (List.map (fun p -> fact.(p)) positions)
+
+(* First mutation after a snapshot: detach from the shared index table
+   so the sibling keeps its view; our indexes rebuild on demand. *)
+let own_indexes r =
+  if r.shared_indexes then begin
+    r.indexes <- Hashtbl.create 4;
+    r.shared_indexes <- false
+  end
+
+let store_fact r fact =
+  Tuple.Table.replace r.store (Tuple.of_array fact) ();
+  let dims = Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema)) in
+  Tuple.Table.replace r.by_dims dims fact
+
+(* Turn a pending batch into live row stores.  Indexes cannot exist
+   yet for this relation (every index op materializes first), so only
+   the primary stores are filled. *)
+let materialize r =
+  match r.pending with
+  | None -> ()
+  | Some batch ->
+      r.pending <- None;
+      Columnar.Batch.iter_rows batch (fun fact -> store_fact r fact)
 
 let insert t name fact =
   let r = relation_exn t name in
@@ -62,25 +115,30 @@ let insert t name fact =
       (Printf.sprintf "Instance.insert: fact of width %d into %s"
          (Array.length fact)
          (Schema.to_string r.schema));
+  materialize r;
   let key = Tuple.of_array fact in
   if Tuple.Table.mem r.store key then false
   else begin
+    own_indexes r;
+    r.cache <- None;
     Tuple.Table.replace r.store key ();
-    let dims =
-      Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema))
-    in
+    let dims = Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema)) in
     Tuple.Table.replace r.by_dims dims fact;
     Hashtbl.iter
-      (fun positions idx -> Tuple.Table.add_multi idx (index_key positions fact) fact)
+      (fun positions idx ->
+        Tuple.Table.add_multi idx (index_key positions fact) fact)
       r.indexes;
     true
   end
 
 let remove t name fact =
   let r = relation_exn t name in
+  materialize r;
   let key = Tuple.of_array fact in
   if not (Tuple.Table.mem r.store key) then false
   else begin
+    own_indexes r;
+    r.cache <- None;
     Tuple.Table.remove r.store key;
     let dims = Tuple.of_array (Array.sub fact 0 (Schema.arity r.schema)) in
     (match Tuple.Table.find_opt r.by_dims dims with
@@ -96,38 +154,53 @@ let remove t name fact =
   end
 
 let mem t name fact =
-  Tuple.Table.mem (relation_exn t name).store (Tuple.of_array fact)
+  let r = relation_exn t name in
+  materialize r;
+  Tuple.Table.mem r.store (Tuple.of_array fact)
 
 let find_by_dims t name dims =
-  Tuple.Table.find_opt (relation_exn t name).by_dims (Tuple.of_array dims)
+  let r = relation_exn t name in
+  materialize r;
+  Tuple.Table.find_opt r.by_dims (Tuple.of_array dims)
 
+(* Snapshot.  Row stores are copied (they are cheap relative to the
+   secondary indexes and are mutated in place by [by_dims]'s
+   last-writer rule); secondary indexes are shared copy-on-write;
+   batches, dictionaries and the pool are immutable/append-only and
+   shared outright. *)
 let copy t =
-  let out = create () in
+  let out =
+    { rels = Hashtbl.create (Hashtbl.length t.rels); pool = t.pool }
+  in
   Hashtbl.iter
     (fun name r ->
-      let indexes = Hashtbl.create (Hashtbl.length r.indexes) in
-      Hashtbl.iter
-        (fun positions idx -> Hashtbl.replace indexes positions (Tuple.Table.copy idx))
-        r.indexes;
-      Hashtbl.replace out name
+      r.shared_indexes <- true;
+      Hashtbl.replace out.rels name
         {
           schema = r.schema;
           store = Tuple.Table.copy r.store;
           by_dims = Tuple.Table.copy r.by_dims;
-          indexes;
+          indexes = r.indexes;
+          shared_indexes = true;
+          pending = r.pending;
+          cache = r.cache;
         })
-    t;
+    t.rels;
   out
 
 (* The table key IS the stored fact array ([Tuple.of_array] is an
    ownership transfer, not a copy), so iteration can expose it without
-   copying — callers must not mutate the arrays. *)
+   copying — callers must not mutate the arrays.  A pending batch is
+   iterated directly (fresh arrays per row) without materializing. *)
 let iter_facts t name f =
   let r = relation_exn t name in
-  Tuple.Table.iter (fun k () -> f (k : Tuple.t :> Value.t array)) r.store
+  match r.pending with
+  | Some batch -> Columnar.Batch.iter_rows batch f
+  | None -> Tuple.Table.iter (fun k () -> f (k : Tuple.t :> Value.t array)) r.store
 
 let ensure_index t name positions =
   let r = relation_exn t name in
+  materialize r;
   if not (Hashtbl.mem r.indexes positions) then begin
     Atomic.incr index_builds;
     let idx = Tuple.Table.create (max 64 (Tuple.Table.length r.store)) in
@@ -136,6 +209,8 @@ let ensure_index t name positions =
         let fact = (k : Tuple.t :> Value.t array) in
         Tuple.Table.add_multi idx (index_key positions fact) fact)
       r.store;
+    (* Adding to a shared table is sound: sharing implies neither side
+       has mutated since the snapshot, so the index is valid for both. *)
     Hashtbl.replace r.indexes positions idx
   end
 
@@ -154,20 +229,72 @@ let indexed_positions t name =
 
 let clear t name =
   let r = relation_exn t name in
+  own_indexes r;
+  r.pending <- None;
+  r.cache <- None;
   Tuple.Table.reset r.store;
   Tuple.Table.reset r.by_dims;
   Hashtbl.iter (fun _ idx -> Tuple.Table.reset idx) r.indexes
 
 let facts_unsorted t name =
   let r = relation_exn t name in
-  Tuple.Table.fold (fun k () acc -> Tuple.to_array k :: acc) r.store []
+  match r.pending with
+  | Some batch -> Columnar.Batch.to_facts batch
+  | None -> Tuple.Table.fold (fun k () acc -> Tuple.to_array k :: acc) r.store []
 
 let facts t name =
   facts_unsorted t name
   |> List.sort (fun a b -> Tuple.compare (Tuple.of_array a) (Tuple.of_array b))
 
-let cardinality t name = Tuple.Table.length (relation_exn t name).store
-let total_facts t = Hashtbl.fold (fun _ r acc -> acc + Tuple.Table.length r.store) t 0
+let cardinality t name =
+  let r = relation_exn t name in
+  match r.pending with
+  | Some batch -> Columnar.Batch.nrows batch
+  | None -> Tuple.Table.length r.store
+
+let total_facts t =
+  Hashtbl.fold (fun name _ acc -> acc + cardinality t name) t.rels 0
+
+(* ----- columnar views ----- *)
+
+(* The columnar view of a relation's current contents, encoded under
+   this instance's dictionary pool and memoized until the next
+   mutation.  Rows are in [facts] (sorted) order — the order the
+   vectorized kernels rely on to replay the row engine exactly. *)
+let batch t name =
+  let r = relation_exn t name in
+  match r.pending with
+  | Some b -> b
+  | None -> (
+      match r.cache with
+      | Some b -> b
+      | None ->
+          let b = Columnar.Batch.of_facts ~pool:t.pool r.schema (facts t name) in
+          r.cache <- Some b;
+          b)
+
+(* Replace a relation's contents with a batch, O(columns): row stores
+   are emptied and rebuilt only if tuple-level access happens later.
+   The batch's dictionaries are adopted into this instance's pool
+   (per dimension domain), so subsequent encodes share their codes.
+   The caller promises the batch's rows are duplicate-free and in
+   sorted order — true of any batch obtained from {!batch}. *)
+let set_batch t name b =
+  let r = relation_exn t name in
+  if not (Schema.equal r.schema (Columnar.Batch.schema b)) then
+    invalid_arg ("Instance.set_batch: schema mismatch on " ^ name);
+  own_indexes r;
+  Tuple.Table.reset r.store;
+  Tuple.Table.reset r.by_dims;
+  Hashtbl.iter (fun _ idx -> Tuple.Table.reset idx) r.indexes;
+  Array.iteri
+    (fun i (d : Schema.dimension) ->
+      Columnar.Dict.adopt t.pool d.Schema.dim_domain (Columnar.Batch.dim_dict b i))
+    r.schema.Schema.dims;
+  r.pending <- Some b;
+  r.cache <- Some b
+
+let dict_pool t = t.pool
 
 let of_registry reg =
   let t = create () in

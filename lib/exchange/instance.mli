@@ -35,7 +35,11 @@ val find_by_dims : t -> string -> Value.t array -> fact option
     incrementally. *)
 
 val copy : t -> t
-(** Deep copy: stores, dimension indexes and secondary indexes. *)
+(** Snapshot.  Row stores are copied; secondary indexes are shared
+    copy-on-write (the first side to mutate detaches and rebuilds its
+    indexes lazily), and columnar batches/dictionaries are shared
+    outright — they are immutable/append-only.  Snapshots are fully
+    isolated: mutating either side never shows through the other. *)
 
 val ensure_index : t -> string -> int list -> unit
 (** Build the persistent secondary index of a relation on the given
@@ -73,6 +77,25 @@ val facts_unsorted : t -> string -> fact list
 
 val cardinality : t -> string -> int
 val total_facts : t -> int
+
+val batch : t -> string -> Columnar.Batch.t
+(** The columnar view of a relation's current contents, encoded under
+    this instance's per-domain dictionary pool with rows in {!facts}
+    (sorted) order; memoized until the next mutation.  Kernels rely on
+    the row order to replay the row engine's iteration exactly. *)
+
+val set_batch : t -> string -> Columnar.Batch.t -> unit
+(** Replace a relation's contents with a batch in O(columns): the row
+    stores empty out and rebuild lazily on the first tuple-level
+    access ([mem]/[insert]/[remove]/index ops), while whole-relation
+    reads ([facts], [iter_facts], [cardinality]) serve straight from
+    the batch.  Adopts the batch's dictionaries into this instance's
+    pool.  The rows must be duplicate-free and sorted — true of any
+    batch from {!batch}.
+    @raise Invalid_argument on schema mismatch. *)
+
+val dict_pool : t -> Columnar.Dict.pool
+(** The instance's per-domain dictionary pool (shared with snapshots). *)
 
 val of_registry : Registry.t -> t
 (** Source instance [I] from the elementary cubes of a registry. *)

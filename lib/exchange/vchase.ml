@@ -1,0 +1,473 @@
+(* Vectorized tgd application over column batches — the chase's hot
+   path.  Each [try_*] below replays the row engine's semantics
+   exactly: rows are processed in [Instance.facts] (sorted) order, the
+   same candidates are counted into [matches_examined], undefined
+   terms skip or raise under the same rules, and group bags accumulate
+   in the same order — so a successful vectorized run produces the
+   same solution, the same counters, and bit-identical floats as the
+   row-at-a-time matcher, only without per-row [Tuple]/[Binding]
+   allocation in the loops.
+
+   [handles] is the static gate: when it says yes, [apply] commits (no
+   runtime fallback — wide keys go through a composite-key table, not
+   back to rows), which is what lets the chase skip row-index
+   pre-builds for vectorizable tgds and keep Σst-installed relations
+   purely columnar. *)
+
+open Matrix
+module Tgd = Mappings.Tgd
+module Term = Mappings.Term
+module Dict = Columnar.Dict
+module Batch = Columnar.Batch
+module Kernels = Columnar.Kernels
+
+exception Error of string
+(* Converted to [Chase_error]'s [Error msg] result by the chase's
+   [wrap_chase]; messages match the row path's. *)
+
+type ctx = {
+  read : Instance.t;  (* batches come from here *)
+  count : int -> unit;  (* matches_examined accumulator *)
+  emit : string -> Value.t list -> unit;  (* set-semantics fact sink *)
+}
+
+(* [(var, position)] for an atom whose args are pairwise-distinct
+   variables — the shape every kernel requires; anything else
+   (constants, repeated vars = filters, complex terms) stays on the
+   row matcher. *)
+let var_positions (atom : Tgd.atom) =
+  let rec go i seen acc = function
+    | [] -> Some (List.rev acc)
+    | Term.Var v :: rest ->
+        if List.mem v seen then None
+        else go (i + 1) (v :: seen) ((v, i) :: acc) rest
+    | _ :: _ -> None
+  in
+  go 0 [] [] atom.Tgd.args
+
+(* The atom's var layout when it matches its relation's arity; an
+   arity mismatch means the row matcher's per-fact width check (which
+   silently matches nothing) must run instead. *)
+let atom_shape instance (atom : Tgd.atom) =
+  match var_positions atom with
+  | None -> None
+  | Some vpos -> (
+      match Instance.schema instance atom.Tgd.rel with
+      | Some s when Schema.arity s + 1 = List.length atom.Tgd.args -> Some vpos
+      | _ -> None)
+
+(* ----- aggregation ----- *)
+
+(* A group-by term is kernel-able when it depends on at most one
+   variable and that variable sits on a dictionary-encoded dimension:
+   the term then evaluates once per distinct code instead of once per
+   row.  The measure may sit on any position (measure column or an
+   encoded dimension). *)
+let agg_shape instance (source : Tgd.atom) group_by measure =
+  match atom_shape instance source with
+  | None -> None
+  | Some vpos ->
+      let ndims = List.length source.Tgd.args - 1 in
+      let terms_ok =
+        List.for_all
+          (fun t ->
+            match Term.vars t with
+            | [] -> true
+            | [ v ] -> (
+                match List.assoc_opt v vpos with
+                | Some p -> p < ndims
+                | None -> false)
+            | _ :: _ :: _ -> false)
+          group_by
+      in
+      if not terms_ok then None
+      else
+        Option.map (fun mpos -> (vpos, mpos)) (List.assoc_opt measure vpos)
+
+(* One prepared group-by column: either the same value on every row,
+   or a per-input-code translation into a local key dictionary. *)
+type gcol =
+  | Gconst of Value.t option * Term.t
+  | Gcol of {
+      term : Term.t;
+      src_codes : int array;  (* the dimension's code column *)
+      enc : int array;  (* input code -> local key code, -1 undefined *)
+      vals : Value.t option array;  (* input code -> term value *)
+      radix : int;
+    }
+
+let try_aggregation ctx (source : Tgd.atom) group_by aggr measure target =
+  match agg_shape ctx.read source group_by measure with
+  | None -> false
+  | Some (vpos, mpos) ->
+      let b = Instance.batch ctx.read source.Tgd.rel in
+      let nrows = Batch.nrows b in
+      let ndims = List.length source.Tgd.args - 1 in
+      let prep term =
+        match Term.vars term with
+        | [] -> Gconst (Binding.term_value Binding.empty term, term)
+        | [ v ] ->
+            let p = List.assoc v vpos in
+            let d = Batch.dim_dict b p in
+            let vals =
+              Array.init (Dict.size d) (fun c ->
+                  match term with
+                  | Term.Var _ -> Some (Dict.decode d c)
+                  | _ ->
+                      Binding.term_value
+                        (Binding.bind Binding.empty v (Dict.decode d c))
+                        term)
+            in
+            let local = Dict.create () in
+            let enc =
+              Array.map
+                (function Some v -> Dict.encode local v | None -> -1)
+                vals
+            in
+            Gcol
+              {
+                term;
+                src_codes = Batch.dim_codes b p;
+                enc;
+                vals;
+                radix = max 1 (Dict.size local);
+              }
+        | _ -> assert false
+      in
+      let preps = List.map prep group_by in
+      (* Every source fact is an examined candidate, matching or not. *)
+      ctx.count nrows;
+      (* Row scan in sorted order: raise exactly where the row matcher
+         would — per row, group terms in declaration order first, then
+         the measure — and gather the measure column. *)
+      let undefined t =
+        raise
+          (Error
+             (Printf.sprintf "group-by term %s undefined on a source tuple"
+                (Term.to_string t)))
+      in
+      let mvalid, mval =
+        if mpos = ndims then
+          ((fun r -> Batch.measure_valid b r), fun r -> (Batch.measure_floats b).(r))
+        else
+          let d = Batch.dim_dict b mpos in
+          let codes = Batch.dim_codes b mpos in
+          ( (fun r -> Dict.float_defined d codes.(r)),
+            fun r -> Dict.float_of_code d codes.(r) )
+      in
+      let mf = Array.make (max 1 nrows) 0. in
+      for r = 0 to nrows - 1 do
+        List.iter
+          (function
+            | Gconst (None, t) -> undefined t
+            | Gconst (Some _, _) -> ()
+            | Gcol p -> if p.enc.(p.src_codes.(r)) < 0 then undefined p.term)
+          preps;
+        if not (mvalid r) then
+          raise (Error "aggregation measure is not numeric");
+        mf.(r) <- mval r
+      done;
+      let cols, radices =
+        List.filter_map
+          (function
+            | Gconst _ -> None
+            | Gcol p ->
+                Some (Array.map (fun c -> p.enc.(c)) p.src_codes, p.radix))
+          preps
+        |> List.split
+      in
+      let keys =
+        Kernels.dense_keys ~nrows (Array.of_list cols) (Array.of_list radices)
+      in
+      let g = Kernels.group keys in
+      let mf = if nrows = 0 then [||] else mf in
+      let offsets, data = Kernels.segment g mf in
+      for gid = 0 to g.Kernels.n_groups - 1 do
+        let off = offsets.(gid) in
+        let len = offsets.(gid + 1) - off in
+        let result = Stats.Aggregate.apply_slice aggr data ~off ~len in
+        if not (Float.is_nan result) then begin
+          let rep = g.Kernels.rep_rows.(gid) in
+          let key_values =
+            List.map
+              (function
+                | Gconst (Some v, _) -> v
+                | Gconst (None, _) -> assert false (* raised above *)
+                | Gcol p -> Option.get p.vals.(p.src_codes.(rep)))
+              preps
+          in
+          ctx.emit target (key_values @ [ Value.of_float result ])
+        end
+      done;
+      true
+
+(* ----- value access shared by the tuple-level kernels ----- *)
+
+(* Per-position row readers over a batch: dimensions read through the
+   dictionary (the decoded representative — equal to the original
+   value under [Value.equal], which every evaluation path treats
+   identically), the measure column reads its exact values. *)
+let position_reader b ndims p =
+  if p = ndims then
+    let meas = Batch.measures b in
+    fun r -> meas.(r)
+  else
+    let d = Batch.dim_dict b p in
+    let codes = Batch.dim_codes b p in
+    fun r -> Dict.decode d codes.(r)
+
+(* A compiled rhs term: how to produce its value for one matched row.
+   [Rgeneral] rebuilds a binding — only complex multi-var terms pay
+   that cost. *)
+type rterm =
+  | Rconst of Value.t option
+  | Rread of (int -> Value.t)  (* plain var: direct column read *)
+  | Rcode of { codes : int array; vals : Value.t option array }
+      (* single dimension var under a complex term: per-code value *)
+  | Rgeneral of Term.t
+
+let compile_rhs_term ~reader_of ~dim_of term =
+  match Term.vars term with
+  | [] -> Rconst (Binding.term_value Binding.empty term)
+  | [ v ] -> (
+      match term with
+      | Term.Var _ -> (
+          match reader_of v with
+          | Some read -> Rread read
+          | None -> Rconst None (* unbound var: undefined on every row *))
+      | _ -> (
+          match dim_of v with
+          | Some (d, codes) ->
+              let vals =
+                Array.init (Dict.size d) (fun c ->
+                    Binding.term_value
+                      (Binding.bind Binding.empty v (Dict.decode d c))
+                      term)
+              in
+              Rcode { codes; vals }
+          | None -> if Option.is_none (reader_of v) then Rconst None else Rgeneral term))
+  | _ :: _ :: _ -> Rgeneral term
+
+(* ----- single-atom selection / projection ----- *)
+
+let try_single ctx (atom : Tgd.atom) (rhs : Tgd.atom) =
+  match atom_shape ctx.read atom with
+  | None -> false
+  | Some vpos ->
+      let b = Instance.batch ctx.read atom.Tgd.rel in
+      let nrows = Batch.nrows b in
+      let ndims = List.length atom.Tgd.args - 1 in
+      let reader p = position_reader b ndims p in
+      let reader_of v = Option.map reader (List.assoc_opt v vpos) in
+      let dim_of v =
+        match List.assoc_opt v vpos with
+        | Some p when p < ndims ->
+            Some (Batch.dim_dict b p, Batch.dim_codes b p)
+        | _ -> None
+      in
+      let rterms =
+        List.map (compile_rhs_term ~reader_of ~dim_of) rhs.Tgd.args
+      in
+      let needs_binding =
+        List.exists (function Rgeneral _ -> true | _ -> false) rterms
+      in
+      let readers = List.map (fun (v, p) -> (v, reader p)) vpos in
+      ctx.count nrows;
+      for r = 0 to nrows - 1 do
+        let binding =
+          if needs_binding then
+            List.fold_left
+              (fun acc (v, read) -> Binding.bind acc v (read r))
+              Binding.empty readers
+          else Binding.empty
+        in
+        let rec eval_all acc = function
+          | [] -> Some (List.rev acc)
+          | rt :: rest -> (
+              let value =
+                match rt with
+                | Rconst v -> v
+                | Rread read -> Some (read r)
+                | Rcode { codes; vals } -> vals.(codes.(r))
+                | Rgeneral term -> Binding.term_value binding term
+              in
+              match value with
+              | Some v -> eval_all (v :: acc) rest
+              | None -> None (* undefined term: skip the row, no error *))
+        in
+        match eval_all [] rterms with
+        | Some values -> ctx.emit rhs.Tgd.rel values
+        | None -> ()
+      done;
+      true
+
+(* ----- two-atom equi-join ----- *)
+
+(* Shape check for the batch hash join: both atoms all-distinct-vars,
+   at least one shared variable, every shared variable on encoded
+   dimensions (not the measure), and the target distinct from both
+   sources — the row matcher probes a live index, so a self-feeding
+   tgd could observe its own emissions, which a frozen batch cannot. *)
+let join_shape instance (a1 : Tgd.atom) (a2 : Tgd.atom) (rhs : Tgd.atom) =
+  match (atom_shape instance a1, atom_shape instance a2) with
+  | Some vp1, Some vp2 ->
+      let nd1 = List.length a1.Tgd.args - 1 in
+      let nd2 = List.length a2.Tgd.args - 1 in
+      let joins =
+        List.filter_map
+          (fun (v, p2) ->
+            Option.map (fun p1 -> (p1, p2)) (List.assoc_opt v vp1))
+          vp2
+      in
+      if
+        joins <> []
+        && List.for_all (fun (p1, p2) -> p1 < nd1 && p2 < nd2) joins
+        && rhs.Tgd.rel <> a1.Tgd.rel
+        && rhs.Tgd.rel <> a2.Tgd.rel
+      then Some (vp1, vp2, joins)
+      else None
+  | _ -> None
+
+let try_join ctx (a1 : Tgd.atom) (a2 : Tgd.atom) (rhs : Tgd.atom) =
+  match join_shape ctx.read a1 a2 rhs with
+  | None -> false
+  | Some (vp1, vp2, joins) ->
+      let b1 = Instance.batch ctx.read a1.Tgd.rel in
+      let b2 = Instance.batch ctx.read a2.Tgd.rel in
+      let nd1 = List.length a1.Tgd.args - 1 in
+      let nd2 = List.length a2.Tgd.args - 1 in
+      (* Key columns in a1's code space: a2 columns whose dictionary
+         differs are translated once (misses -> -1, matching nothing),
+         mirroring an index lookup that finds no bucket. *)
+      let probe_cols, build_cols, radices =
+        List.fold_right
+          (fun (p1, p2) (ps, bs, rs) ->
+            let d1 = Batch.dim_dict b1 p1 and d2 = Batch.dim_dict b2 p2 in
+            let c2 =
+              match Dict.xlate d2 d1 with
+              | None -> Batch.dim_codes b2 p2
+              | Some x -> Array.map (fun c -> x.(c)) (Batch.dim_codes b2 p2)
+            in
+            (Batch.dim_codes b1 p1 :: ps, c2 :: bs, Dict.size d1 :: rs))
+          joins ([], [], [])
+      in
+      let build_keys, probe_keys =
+        Kernels.joined_keys
+          ~build_cols:(Array.of_list build_cols)
+          ~probe_cols:(Array.of_list probe_cols)
+          ~nbuild:(Batch.nrows b2) ~nprobe:(Batch.nrows b1)
+          (Array.of_list radices)
+      in
+      (* Like the row plan: every a1 fact is an examined candidate,
+         then every index-bucket entry per probe. *)
+      ctx.count (Batch.nrows b1);
+      let read1 p = position_reader b1 nd1 p in
+      let read2 p = position_reader b2 nd2 p in
+      (* Shared vars resolve to the probe (a1) side, exactly where the
+         row matcher binds them. *)
+      let vp2_fresh =
+        List.filter (fun (v, _) -> not (List.mem_assoc v vp1)) vp2
+      in
+      let reader_of v =
+        match List.assoc_opt v vp1 with
+        | Some p ->
+            let read = read1 p in
+            Some (fun pr _ -> read pr)
+        | None ->
+            Option.map
+              (fun p ->
+                let read = read2 p in
+                fun _ br -> read br)
+              (List.assoc_opt v vp2)
+      in
+      let jterms =
+        List.map
+          (fun term ->
+            match term with
+            | Term.Var v -> (
+                match reader_of v with
+                | Some read -> `Read read
+                | None -> `Const None)
+            | _ -> (
+                match Term.vars term with
+                | [] -> `Const (Binding.term_value Binding.empty term)
+                | _ :: _ -> `General term))
+          rhs.Tgd.args
+      in
+      let needs_binding =
+        List.exists (function `General _ -> true | _ -> false) jterms
+      in
+      (* Binding layout for complex terms: every a1 var, then a2's
+         fresh vars — shared vars keep their a1 (probe-side) values,
+         where the row matcher bound them. *)
+      let binding_readers =
+        List.map
+          (fun (v, p) ->
+            let read = read1 p in
+            (v, fun pr _ -> read pr))
+          vp1
+        @ List.map
+            (fun (v, p) ->
+              let read = read2 p in
+              (v, fun _ br -> read br))
+            vp2_fresh
+      in
+      let matched = ref 0 in
+      Kernels.hash_join ~build_keys ~probe_keys
+        ~on_probe:(fun _ size -> matched := !matched + size)
+        (fun pr br ->
+          let binding =
+            if needs_binding then
+              List.fold_left
+                (fun acc (v, read) -> Binding.bind acc v (read pr br))
+                Binding.empty binding_readers
+            else Binding.empty
+          in
+          let rec eval_all acc = function
+            | [] -> Some (List.rev acc)
+            | jt :: rest -> (
+                let value =
+                  match jt with
+                  | `Const v -> v
+                  | `Read read -> Some (read pr br)
+                  | `General term -> Binding.term_value binding term
+                in
+                match value with
+                | Some v -> eval_all (v :: acc) rest
+                | None -> None (* undefined term: skip the pair *))
+          in
+          match eval_all [] jterms with
+          | Some values -> ctx.emit rhs.Tgd.rel values
+          | None -> ());
+      ctx.count !matched;
+      true
+
+let handles instance tgd =
+  match tgd with
+  | Tgd.Aggregation { source; group_by; measure; _ } ->
+      Option.is_some (agg_shape instance source group_by measure)
+  | Tgd.Tuple_level { lhs = [ a ]; rhs = _ } ->
+      Option.is_some (atom_shape instance a)
+  | Tgd.Tuple_level { lhs = [ a1; a2 ]; rhs } ->
+      Option.is_some (join_shape instance a1 a2 rhs)
+  | Tgd.Tuple_level _ | Tgd.Table_fn _ | Tgd.Outer_combine _ -> false
+
+(* Encode (and cache) the batches a vectorizable tgd will read —
+   called sequentially before a stratum's parallel phase so worker
+   domains only ever read warmed caches and append-only dictionaries. *)
+let prewarm instance tgd =
+  if handles instance tgd then
+    List.iter
+      (fun rel ->
+        match Instance.schema instance rel with
+        | Some _ -> ignore (Instance.batch instance rel)
+        | None -> ())
+      (Tgd.source_relations tgd)
+
+let apply ctx tgd =
+  match tgd with
+  | Tgd.Aggregation { source; group_by; aggr; measure; target } ->
+      try_aggregation ctx source group_by aggr measure target
+  | Tgd.Tuple_level { lhs = [ a ]; rhs } -> try_single ctx a rhs
+  | Tgd.Tuple_level { lhs = [ a1; a2 ]; rhs } -> try_join ctx a1 a2 rhs
+  | Tgd.Tuple_level _ | Tgd.Table_fn _ | Tgd.Outer_combine _ -> false

@@ -144,6 +144,175 @@ let invalidate_views views table =
   Obs.count ~n:(List.length stale) "executor.view_invalidations";
   List.iter (Hashtbl.remove views.view_rows) stale
 
+(* ----- vectorized fast paths over encoded base-table columns ----- *)
+
+(* A plan node the batch kernels can read directly: a scan of a base
+   table (views fall back to the generic row path — their memoized
+   rows have no column cache to hang dictionaries on). *)
+let base_scan db = function
+  | Plan.Scan { table; _ } -> Database.find db table
+  | _ -> None
+
+(* Positions of plain-column key expressions in a scan's layout; [None]
+   as soon as any key is computed (the generic path must evaluate it
+   per row). *)
+let col_positions lookup scan t keys =
+  let res = resolver_of_layout (layout lookup scan) in
+  let pos = function
+    | Sql_ast.Col { alias; column } -> (
+        match res.index (alias, column) with
+        | Some i when i < Table.width t -> Some i
+        | _ -> None)
+    | _ -> None
+  in
+  let ps = List.map pos keys in
+  if List.for_all Option.is_some ps then Some (List.map Option.get ps)
+  else None
+
+(* Code of the (at most one) [Null] entry of a dict, or -1. *)
+let null_code dict =
+  let rec go c =
+    if c >= Columnar.Dict.size dict then -1
+    else if Value.is_null (Columnar.Dict.decode dict c) then c
+    else go (c + 1)
+  in
+  go 0
+
+(* Dictionary-encoded int-key hash join between two base tables: key
+   columns compare by code (probe codes translated into the build
+   dict's space once per column), null keys poisoned to -1 so they
+   never join.  Row-for-row identical to the generic path, including
+   output order: probe rows in insertion order, each paired with its
+   matching build rows in insertion order. *)
+let vectorized_hash_join lookup tb tp build probe build_keys probe_keys =
+  match
+    (col_positions lookup build tb build_keys,
+     col_positions lookup probe tp probe_keys)
+  with
+  | Some bpos, Some ppos when List.length bpos = List.length ppos ->
+      Obs.count "executor.vectorized_joins";
+      let brows = Table.rows_array tb and prows = Table.rows_array tp in
+      let nbuild = Array.length brows and nprobe = Array.length prows in
+      let mask dict codes =
+        match null_code dict with
+        | -1 -> codes
+        | nc -> Array.map (fun c -> if c = nc then -1 else c) codes
+      in
+      let build_cols, probe_cols, radices =
+        List.fold_right2
+          (fun bp pp (bs, ps, rs) ->
+            let db, cb = Table.column_codes tb bp in
+            let dp, cp = Table.column_codes tp pp in
+            let cp =
+              match Columnar.Dict.xlate dp db with
+              | None -> cp
+              | Some x -> Array.map (fun c -> x.(c)) cp
+            in
+            (mask db cb :: bs, mask dp cp :: ps, Columnar.Dict.size db :: rs))
+          bpos ppos ([], [], [])
+      in
+      let build_keys, probe_keys =
+        Columnar.Kernels.joined_keys
+          ~build_cols:(Array.of_list build_cols)
+          ~probe_cols:(Array.of_list probe_cols)
+          ~nbuild ~nprobe (Array.of_list radices)
+      in
+      let tbl : (int, int list) Hashtbl.t = Hashtbl.create (max 16 nbuild) in
+      (* Reverse fill so each bucket lists build rows in insertion
+         order, the order the generic path emits them in. *)
+      for br = nbuild - 1 downto 0 do
+        let k = build_keys.(br) in
+        if k >= 0 then
+          Hashtbl.replace tbl k
+            (br :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+      done;
+      let out = ref [] in
+      for pr = 0 to nprobe - 1 do
+        let k = probe_keys.(pr) in
+        if k >= 0 then
+          List.iter
+            (fun br -> out := Array.append brows.(br) prows.(pr) :: !out)
+            (Option.value ~default:[] (Hashtbl.find_opt tbl k))
+      done;
+      Some (List.rev !out)
+  | _ -> None
+
+(* Grouped aggregation over a base table, vectorized: group keys
+   compare by per-column dictionary code, measures gather into one
+   float array segmented per group.  Replays the generic path exactly —
+   rows sorted first, groups in first-seen order over the sorted rows,
+   bags in sorted-row order, rows with a null key or non-numeric
+   measure skipped. *)
+let vectorized_aggregate lookup t input keys measure aggr =
+  match
+    col_positions lookup input t (List.map fst keys @ [ measure ])
+  with
+  | None -> None
+  | Some positions ->
+      Obs.count "executor.vectorized_aggregates";
+      let kpos = Array.of_list (List.filteri (fun i _ -> i < List.length keys) positions) in
+      let mpos = List.nth positions (List.length keys) in
+      let rows = Table.rows_array t in
+      let n = Array.length rows in
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          Tuple.compare (Tuple.of_array rows.(a)) (Tuple.of_array rows.(b)))
+        order;
+      let key_cols =
+        Array.map
+          (fun p ->
+            let dict, codes = Table.column_codes t p in
+            let nc = null_code dict in
+            ((dict, codes, nc) : Columnar.Dict.t * int array * int))
+          kpos
+      in
+      (* Select the participating rows (sorted order), gathering their
+         measures; a null key or undefined measure drops the row. *)
+      let sel = Array.make n 0 and mf = Array.make (max 1 n) 0. in
+      let nsel = ref 0 in
+      for j = 0 to n - 1 do
+        let r = order.(j) in
+        let key_ok =
+          Array.for_all (fun (_, codes, nc) -> codes.(r) <> nc) key_cols
+        in
+        if key_ok then
+          match Value.to_float rows.(r).(mpos) with
+          | None -> ()
+          | Some m ->
+              sel.(!nsel) <- r;
+              mf.(!nsel) <- m;
+              incr nsel
+      done;
+      let nsel = !nsel in
+      let cols =
+        Array.map
+          (fun ((_, codes, _) : Columnar.Dict.t * int array * int) ->
+            Array.init nsel (fun j -> codes.(sel.(j))))
+          key_cols
+      in
+      let radices =
+        Array.map (fun (d, _, _) -> Columnar.Dict.size d) key_cols
+      in
+      let gkeys = Columnar.Kernels.dense_keys ~nrows:nsel cols radices in
+      let g = Columnar.Kernels.group gkeys in
+      let offsets, data =
+        Columnar.Kernels.segment g (Array.sub mf 0 nsel)
+      in
+      let out = ref [] in
+      for gid = g.Columnar.Kernels.n_groups - 1 downto 0 do
+        let off = offsets.(gid) in
+        let len = offsets.(gid + 1) - off in
+        let result = Stats.Aggregate.apply_slice aggr data ~off ~len in
+        let rep = rows.(sel.(g.Columnar.Kernels.rep_rows.(gid))) in
+        out :=
+          Array.of_list
+            (Array.to_list (Array.map (fun p -> rep.(p)) kpos)
+            @ [ Value.of_float result ])
+          :: !out
+      done;
+      Some !out
+
 let rec execute db lookup (views : view_env) plan : Value.t array list =
   match plan with
   | Plan.One_row -> [ [||] ]
@@ -154,34 +323,47 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
           match Hashtbl.find_opt views.view_defs table with
           | Some select -> rows_of_view db lookup views table select
           | None -> []))
-  | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
-      let build_rows = execute db lookup views build in
-      let probe_rows = execute db lookup views probe in
-      let build_res = resolver_of_layout (layout lookup build) in
-      let probe_res = resolver_of_layout (layout lookup probe) in
-      let key resolver keys row =
-        let vals = List.map (eval_expr resolver row) keys in
-        if List.exists Value.is_null vals then None
-        else Some (Tuple.of_list vals)
+  | Plan.Hash_join { build; probe; build_keys; probe_keys } -> (
+      let fast =
+        match (base_scan db build, base_scan db probe) with
+        | Some tb, Some tp ->
+            vectorized_hash_join lookup tb tp build probe build_keys probe_keys
+        | _ -> None
       in
-      let index : Value.t array list Tuple.Table.t = Tuple.Table.create 256 in
-      List.iter
-        (fun row ->
-          match key build_res build_keys row with
-          | None -> ()
-          | Some k ->
-              let prev = Option.value ~default:[] (Tuple.Table.find_opt index k) in
-              Tuple.Table.replace index k (row :: prev))
-        build_rows;
-      List.concat_map
-        (fun probe_row ->
-          match key probe_res probe_keys probe_row with
-          | None -> []
-          | Some k ->
-              List.rev_map
-                (fun build_row -> Array.append build_row probe_row)
-                (Option.value ~default:[] (Tuple.Table.find_opt index k)))
-        probe_rows
+      match fast with
+      | Some rows -> rows
+      | None ->
+          let build_rows = execute db lookup views build in
+          let probe_rows = execute db lookup views probe in
+          let build_res = resolver_of_layout (layout lookup build) in
+          let probe_res = resolver_of_layout (layout lookup probe) in
+          let key resolver keys row =
+            let vals = List.map (eval_expr resolver row) keys in
+            if List.exists Value.is_null vals then None
+            else Some (Tuple.of_list vals)
+          in
+          let index : Value.t array list Tuple.Table.t =
+            Tuple.Table.create 256
+          in
+          List.iter
+            (fun row ->
+              match key build_res build_keys row with
+              | None -> ()
+              | Some k ->
+                  let prev =
+                    Option.value ~default:[] (Tuple.Table.find_opt index k)
+                  in
+                  Tuple.Table.replace index k (row :: prev))
+            build_rows;
+          List.concat_map
+            (fun probe_row ->
+              match key probe_res probe_keys probe_row with
+              | None -> []
+              | Some k ->
+                  List.rev_map
+                    (fun build_row -> Array.append build_row probe_row)
+                    (Option.value ~default:[] (Tuple.Table.find_opt index k)))
+            probe_rows)
   | Plan.Full_outer_hash_join { build; probe; build_keys; probe_keys } ->
       let build_rows = execute db lookup views build in
       let probe_rows = execute db lookup views probe in
@@ -249,7 +431,15 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
         (fun row ->
           Array.of_list (List.map (fun (e, _) -> eval_expr res row e) exprs))
         (execute db lookup views input)
-  | Plan.Aggregate { input; keys; aggr; measure; measure_name = _ } ->
+  | Plan.Aggregate { input; keys; aggr; measure; measure_name = _ } -> (
+      let fast =
+        match base_scan db input with
+        | Some t -> vectorized_aggregate lookup t input keys measure aggr
+        | None -> None
+      in
+      match fast with
+      | Some rows -> rows
+      | None ->
       let res = resolver_of_layout (layout lookup input) in
       let rows =
         List.sort
@@ -277,7 +467,7 @@ let rec execute db lookup (views : view_env) plan : Value.t array list =
           let bag = List.rev !(Tuple.Table.find groups key) in
           let result = Stats.Aggregate.apply aggr bag in
           Array.of_list (Tuple.to_list key @ [ Value.of_float result ]))
-        !order
+        !order)
   | Plan.Table_fn_scan { fn; params; table } -> (
       let schema = schema_exn lookup table in
       let source =

@@ -1,13 +1,21 @@
 open Matrix
 
+(* Rows live in a prepend list (cheap inserts); [arr] and [cols] are
+   derived caches — the row array and per-column dictionary encodings
+   the executor's vectorized paths read — dropped on any mutation and
+   rebuilt lazily. *)
 type t = {
   name : string;
   columns : string list;
   mutable rev_rows : Value.t array list;
   mutable count : int;
+  mutable arr : Value.t array array option;
+  cols : (int, Columnar.Dict.t * int array) Hashtbl.t;
 }
 
-let create ~name ~columns = { name; columns; rev_rows = []; count = 0 }
+let create ~name ~columns =
+  { name; columns; rev_rows = []; count = 0; arr = None; cols = Hashtbl.create 4 }
+
 let name t = t.name
 let columns t = t.columns
 let width t = List.length t.columns
@@ -20,13 +28,38 @@ let insert t row =
          (Array.length row) t.name
          (String.concat ", " t.columns));
   t.rev_rows <- row :: t.rev_rows;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.arr <- None;
+  Hashtbl.reset t.cols
 
 let rows t = List.rev t.rev_rows
 
+let rows_array t =
+  match t.arr with
+  | Some a -> a
+  | None ->
+      let a = Array.make t.count [||] in
+      List.iteri (fun i row -> a.(t.count - 1 - i) <- row) t.rev_rows;
+      t.arr <- Some a;
+      a
+
+let column_codes t i =
+  match Hashtbl.find_opt t.cols i with
+  | Some c -> c
+  | None ->
+      let a = rows_array t in
+      let dict = Columnar.Dict.create () in
+      let codes =
+        Array.map (fun row -> Columnar.Dict.encode dict row.(i)) a
+      in
+      Hashtbl.replace t.cols i (dict, codes);
+      (dict, codes)
+
 let clear t =
   t.rev_rows <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.arr <- None;
+  Hashtbl.reset t.cols
 
 let of_cube cube =
   let schema = Cube.schema cube in

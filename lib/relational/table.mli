@@ -20,6 +20,17 @@ val insert : t -> Value.t array -> unit
 val rows : t -> Value.t array list
 (** In insertion order. *)
 
+val rows_array : t -> Value.t array array
+(** The same rows as an array (insertion order), memoized until the
+    next mutation; callers must not mutate it. *)
+
+val column_codes : t -> int -> Columnar.Dict.t * int array
+(** Column [i] dictionary-encoded over a per-(table, column) dict:
+    [codes.(r)] is the code of row [r]'s value, equal codes iff equal
+    values (including [Null], which gets a code like any other — mask
+    it at the use site when null keys must not join).  Memoized until
+    the next mutation. *)
+
 val clear : t -> unit
 val of_cube : Cube.t -> t
 (** Columns are the dimension names followed by the measure name;

@@ -42,23 +42,28 @@ let of_string s =
   | "last" -> Some Last
   | _ -> None
 
-let apply t bag =
-  match bag with
-  | [] -> invalid_arg "Aggregate.apply: empty bag"
-  | _ -> (
-      let a = Array.of_list bag in
+let apply_array t a =
+  match Array.length a with
+  | 0 -> invalid_arg "Aggregate.apply: empty bag"
+  | n -> (
       match t with
       | Sum -> Descriptive.sum a
       | Avg -> Descriptive.mean a
       | Min -> Descriptive.min a
       | Max -> Descriptive.max a
-      | Count -> float_of_int (Array.length a)
+      | Count -> float_of_int n
       | Median -> Descriptive.median a
       | Stddev -> Descriptive.stddev a
       | Variance -> Descriptive.variance a
       | Product -> Descriptive.product a
       | First -> a.(0)
-      | Last -> a.(Array.length a - 1))
+      | Last -> a.(n - 1))
+
+let apply_slice t a ~off ~len =
+  if off = 0 && len = Array.length a then apply_array t a
+  else apply_array t (Array.sub a off len)
+
+let apply t bag = apply_array t (Array.of_list bag)
 
 let is_order_sensitive = function
   | First | Last -> true

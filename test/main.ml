@@ -25,6 +25,7 @@ let () =
       ("filter", Test_filter.suite);
       ("outer", Test_outer.suite);
       ("exchange", Test_exchange.suite);
+      ("columnar", Test_columnar.suite);
       ("delta", Test_delta.suite);
       ("relational", Test_relational.suite);
       ("vector", Test_vector.suite);

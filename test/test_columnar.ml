@@ -1,0 +1,306 @@
+(* Columnar batches and the vectorized chase: dictionary round-trips,
+   kernel semantics, copy-on-write snapshot isolation, and the A/B
+   property that the columnar path reproduces the row engine exactly —
+   same solution, same counters. *)
+open Matrix
+open Helpers
+module M = Mappings
+module X = Exchange
+module C = Columnar
+
+(* --- dictionaries --- *)
+
+let test_dict_roundtrip () =
+  let d = C.Dict.create () in
+  let values =
+    [ vi 5; vf 5.; vs "a"; Value.Null; Value.Bool true; vf 2.5; vq 2020 1 ]
+  in
+  let codes = List.map (C.Dict.encode d) values in
+  (* Int 5 and Float 5. are Value.equal: one code, like the row stores'
+     set semantics. *)
+  Alcotest.(check int) "int/float conflate" (List.nth codes 0) (List.nth codes 1);
+  Alcotest.(check int) "distinct values, distinct codes" 6 (C.Dict.size d);
+  List.iteri
+    (fun i c ->
+      Alcotest.check value "decode round-trips" (List.nth values i)
+        (C.Dict.decode d c))
+    codes;
+  let c5 = List.nth codes 0 in
+  Alcotest.(check bool) "numeric float view" true (C.Dict.float_defined d c5);
+  Alcotest.(check (float 0.)) "float view value" 5. (C.Dict.float_of_code d c5);
+  Alcotest.(check bool)
+    "string has no float view" false
+    (C.Dict.float_defined d (List.nth codes 2));
+  Alcotest.(check bool) "null code" true (C.Dict.is_null d (List.nth codes 3));
+  Alcotest.(check bool) "find hit" true (C.Dict.find d (vs "a") <> None);
+  Alcotest.(check bool) "find never adds" true (C.Dict.find d (vs "zz") = None);
+  Alcotest.(check int) "size unchanged by find" 6 (C.Dict.size d);
+  (* encode is idempotent *)
+  Alcotest.(check int) "re-encode" (List.nth codes 2) (C.Dict.encode d (vs "a"))
+
+let test_dict_xlate () =
+  let a = C.Dict.create () and b = C.Dict.create () in
+  List.iter (fun v -> ignore (C.Dict.encode a v)) [ vs "x"; vs "y"; vs "z" ];
+  List.iter (fun v -> ignore (C.Dict.encode b v)) [ vs "z"; vs "x" ];
+  (match C.Dict.xlate a b with
+  | None -> Alcotest.fail "distinct dicts must translate"
+  | Some x ->
+      (* x -> b's 1, y -> missing, z -> b's 0 *)
+      Alcotest.(check (array int)) "translation" [| 1; -1; 0 |] x);
+  Alcotest.(check bool) "same dict needs no translation" true
+    (C.Dict.xlate a a = None)
+
+(* --- batches --- *)
+
+let test_batch_roundtrip () =
+  let schema =
+    Schema.make ~name:"B" ~dims:[ ("r", Domain.String); ("x", Domain.Int) ] ()
+  in
+  let pool = C.Dict.create_pool () in
+  let facts =
+    [
+      [| vs "n"; vi 1; vf 2.5 |];
+      [| vs "s"; vi 2; Value.Null |];
+      [| vs "n"; vi 2; vs "oops" |];
+      [| vs "s"; vi 1; vf Float.nan |];
+    ]
+  in
+  let b = C.Batch.of_facts ~pool schema facts in
+  Alcotest.(check int) "rows" 4 (C.Batch.nrows b);
+  List.iter2
+    (fun f g ->
+      Alcotest.(check int) "width" (Array.length f) (Array.length g);
+      Array.iteri
+        (fun i v -> Alcotest.check value "round-trips" v g.(i))
+        f)
+    facts (C.Batch.to_facts b);
+  Alcotest.(check bool) "numeric measure valid" true (C.Batch.measure_valid b 0);
+  Alcotest.(check bool) "null measure invalid" false (C.Batch.measure_valid b 1);
+  Alcotest.(check bool) "string measure invalid" false (C.Batch.measure_valid b 2);
+  (* NaN is a float: a defined measure, like Value.to_float says *)
+  Alcotest.(check bool) "nan measure valid" true (C.Batch.measure_valid b 3);
+  Alcotest.(check bool) "nan gathered" true
+    (Float.is_nan (C.Batch.measure_floats b).(3));
+  (* batches of one pool share per-domain dictionaries *)
+  let b2 = C.Batch.of_facts ~pool schema [ [| vs "n"; vi 9; vf 0. |] ] in
+  Alcotest.(check bool) "shared dicts" true
+    (C.Batch.dim_dict b 0 == C.Batch.dim_dict b2 0)
+
+(* --- kernels --- *)
+
+let test_kernels () =
+  (* mixed-radix packing is exact *)
+  (match C.Kernels.pack ~nrows:3 [| [| 0; 1; 2 |]; [| 1; 0; 1 |] |] [| 3; 2 |] with
+  | None -> Alcotest.fail "pack in range"
+  | Some keys -> Alcotest.(check (array int)) "packed" [| 3; 1; 5 |] keys);
+  (* a negative code poisons its row's key *)
+  (match C.Kernels.pack ~nrows:2 [| [| 0; -1 |] |] [| 4 |] with
+  | None -> Alcotest.fail "pack"
+  | Some keys -> Alcotest.(check (array int)) "poisoned" [| 0; -1 |] keys);
+  (* overflow falls to the wide renumbering path, same partition *)
+  let col = [| 0; 1; 0; 2 |] in
+  Alcotest.(check (array int))
+    "wide keys" [| 0; 1; 0; 2 |]
+    (C.Kernels.dense_keys ~nrows:4 [| col; col |] [| max_int; max_int |]);
+  (* group: first-seen ids and representative rows *)
+  let g = C.Kernels.group [| 7; 3; 7; 9; 3 |] in
+  Alcotest.(check (array int)) "gids" [| 0; 1; 0; 2; 1 |] g.C.Kernels.gids;
+  Alcotest.(check int) "n_groups" 3 g.C.Kernels.n_groups;
+  Alcotest.(check (array int)) "rep rows" [| 0; 1; 3 |] g.C.Kernels.rep_rows;
+  (* segment: stable within each group *)
+  let offsets, data = C.Kernels.segment g [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (array int)) "offsets" [| 0; 2; 4; 5 |] offsets;
+  Alcotest.check float_array "segmented" [| 1.; 3.; 2.; 5.; 4. |] data;
+  (* hash join: probe order, per-probe bucket sizes, poisoned keys *)
+  let pairs = ref [] and probes = ref [] in
+  C.Kernels.hash_join ~build_keys:[| 1; 2; 1; -1 |] ~probe_keys:[| 1; -1; 5; 2 |]
+    ~on_probe:(fun pr size -> probes := (pr, size) :: !probes)
+    (fun pr br -> pairs := (pr, br) :: !pairs);
+  Alcotest.(check (list (pair int int)))
+    "bucket sizes" [ (0, 2); (1, 0); (2, 0); (3, 1) ]
+    (List.rev !probes);
+  Alcotest.(check (list (pair int int)))
+    "pairs" [ (0, 2); (0, 0); (3, 1) ]
+    (List.rev !pairs)
+
+(* --- snapshot isolation (copy-on-write indexes) --- *)
+
+let test_snapshot_isolation () =
+  let inst = X.Instance.create () in
+  X.Instance.add_relation inst
+    (Schema.make ~name:"A" ~dims:[ ("x", Domain.Int) ] ());
+  for i = 1 to 5 do
+    ignore (X.Instance.insert inst "A" [| vi i; vf (float_of_int i) |])
+  done;
+  X.Instance.ensure_index inst "A" [ 0 ];
+  let snap = X.Instance.copy inst in
+  (* mutate the original: the snapshot shares the index table
+     copy-on-write and must keep the pre-mutation view *)
+  ignore (X.Instance.insert inst "A" [| vi 9; vf 9. |]);
+  ignore (X.Instance.remove inst "A" [| vi 1; vf 1. |]);
+  Alcotest.(check int) "orig cardinality" 5 (X.Instance.cardinality inst "A");
+  Alcotest.(check int) "snap cardinality" 5 (X.Instance.cardinality snap "A");
+  Alcotest.(check int) "snap keeps removed fact" 1
+    (List.length (X.Instance.lookup_index snap "A" [ 0 ] [ vi 1 ]));
+  Alcotest.(check int) "snap misses new fact" 0
+    (List.length (X.Instance.lookup_index snap "A" [ 0 ] [ vi 9 ]));
+  Alcotest.(check int) "orig sees new fact" 1
+    (List.length (X.Instance.lookup_index inst "A" [ 0 ] [ vi 9 ]));
+  Alcotest.(check int) "orig dropped removed fact" 0
+    (List.length (X.Instance.lookup_index inst "A" [ 0 ] [ vi 1 ]));
+  (* mutate the snapshot: independent in the other direction too *)
+  ignore (X.Instance.insert snap "A" [| vi 7; vf 7. |]);
+  Alcotest.(check int) "orig misses snap's fact" 0
+    (List.length (X.Instance.lookup_index inst "A" [ 0 ] [ vi 7 ]));
+  Alcotest.(check int) "snap sees its fact" 1
+    (List.length (X.Instance.lookup_index snap "A" [ 0 ] [ vi 7 ]))
+
+let test_set_batch_lazy () =
+  let schema = Schema.make ~name:"S" ~dims:[ ("x", Domain.Int) ] () in
+  let src = X.Instance.create () in
+  X.Instance.add_relation src schema;
+  for i = 1 to 4 do
+    ignore (X.Instance.insert src "S" [| vi i; vf (float_of_int i) |])
+  done;
+  let b = X.Instance.batch src "S" in
+  let tgt = X.Instance.create () in
+  X.Instance.add_relation tgt schema;
+  X.Instance.set_batch tgt "S" b;
+  (* whole-relation reads serve straight from the pending batch *)
+  Alcotest.(check int) "cardinality from batch" 4 (X.Instance.cardinality tgt "S");
+  Alcotest.(check int) "facts from batch" 4
+    (List.length (X.Instance.facts tgt "S"));
+  (* snapshot while pending, then materialize and mutate one side *)
+  let snap = X.Instance.copy tgt in
+  Alcotest.(check bool) "mem materializes" true
+    (X.Instance.mem tgt "S" [| vi 2; vf 2. |]);
+  ignore (X.Instance.remove tgt "S" [| vi 2; vf 2. |]);
+  Alcotest.(check int) "mutated side" 3 (X.Instance.cardinality tgt "S");
+  Alcotest.(check int) "snapshot untouched" 4 (X.Instance.cardinality snap "S");
+  Alcotest.(check bool) "snapshot keeps the fact" true
+    (X.Instance.mem snap "S" [| vi 2; vf 2. |]);
+  (* schema mismatch is rejected *)
+  let t2 = X.Instance.create () in
+  X.Instance.add_relation t2
+    (Schema.make ~name:"S" ~dims:[ ("x", Domain.String) ] ());
+  match X.Instance.set_batch t2 "S" b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "schema mismatch accepted"
+
+(* --- deterministic A/B on the worked example --- *)
+
+let facts_equal f1 f2 =
+  List.length f1 = List.length f2
+  && List.for_all2
+       (fun a b ->
+         Array.length a = Array.length b && Array.for_all2 Value.equal a b)
+       f1 f2
+
+let check_same_run mapping reg =
+  match
+    ( X.Chase.run ~columnar:false mapping (X.Instance.of_registry reg),
+      X.Chase.run ~columnar:true mapping (X.Instance.of_registry reg) )
+  with
+  | Ok (j1, s1), Ok (j2, s2) ->
+      List.iter
+        (fun (s : Schema.t) ->
+          let name = s.Schema.name in
+          Alcotest.(check bool)
+            (name ^ " facts identical") true
+            (facts_equal (X.Instance.facts j1 name) (X.Instance.facts j2 name)))
+        mapping.M.Mapping.target;
+      Alcotest.(check int)
+        "matches_examined" s1.X.Chase.matches_examined s2.X.Chase.matches_examined;
+      Alcotest.(check int)
+        "tuples_generated" s1.X.Chase.tuples_generated s2.X.Chase.tuples_generated;
+      Alcotest.(check int) "tgds_applied" s1.X.Chase.tgds_applied s2.X.Chase.tgds_applied;
+      Alcotest.(check int) "egd_checks" s1.X.Chase.egd_checks s2.X.Chase.egd_checks;
+      Alcotest.(check int) "nulls_created" s1.X.Chase.nulls_created s2.X.Chase.nulls_created;
+      Alcotest.(check int) "rounds" s1.X.Chase.rounds s2.X.Chase.rounds
+  | Error e, _ | _, Error e -> Alcotest.failf "chase failed: %s" e
+
+let test_overview_ab () =
+  let reg = overview_registry () in
+  let checked = load_overview () in
+  let { M.Generate.mapping; _ } = check_ok (M.Generate.of_checked checked) in
+  check_same_run mapping reg
+
+(* --- the property: chase ~columnar:true == chase ~columnar:false --- *)
+
+let qcheck_count =
+  match Option.bind (Sys.getenv_opt "EXL_COL_QCHECK_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 30
+
+let prop_columnar_matches_row =
+  QCheck.Test.make ~count:qcheck_count
+    ~name:"chase ~columnar:true == chase ~columnar:false on random programs"
+    Gen.arb_seed (fun seed ->
+      let src, reg = Gen.program_of_seed seed in
+      match Exl.Program.load src with
+      | Error e ->
+          QCheck.Test.fail_reportf "generated program does not check: %s\n%s"
+            (Exl.Errors.to_string e) src
+      | Ok checked -> (
+          let { M.Generate.mapping; _ } =
+            check_ok (M.Generate.of_checked checked)
+          in
+          match
+            ( X.Chase.run ~columnar:false mapping (X.Instance.of_registry reg),
+              X.Chase.run ~columnar:true mapping (X.Instance.of_registry reg) )
+          with
+          | Ok (j1, s1), Ok (j2, s2) ->
+              List.iter
+                (fun (s : Schema.t) ->
+                  let name = s.Schema.name in
+                  if
+                    not
+                      (facts_equal
+                         (X.Instance.facts j1 name)
+                         (X.Instance.facts j2 name))
+                  then
+                    QCheck.Test.fail_reportf "relation %s differs on\n%s" name
+                      src)
+                mapping.M.Mapping.target;
+              if
+                s1.X.Chase.matches_examined <> s2.X.Chase.matches_examined
+                || s1.X.Chase.tuples_generated <> s2.X.Chase.tuples_generated
+                || s1.X.Chase.tgds_applied <> s2.X.Chase.tgds_applied
+                || s1.X.Chase.egd_checks <> s2.X.Chase.egd_checks
+                || s1.X.Chase.nulls_created <> s2.X.Chase.nulls_created
+                || s1.X.Chase.rounds <> s2.X.Chase.rounds
+              then
+                QCheck.Test.fail_reportf
+                  "stats diverge (row %d/%d/%d/%d/%d/%d vs col \
+                   %d/%d/%d/%d/%d/%d) on\n\
+                   %s"
+                  s1.X.Chase.matches_examined s1.X.Chase.tuples_generated
+                  s1.X.Chase.tgds_applied s1.X.Chase.egd_checks
+                  s1.X.Chase.nulls_created s1.X.Chase.rounds
+                  s2.X.Chase.matches_examined s2.X.Chase.tuples_generated
+                  s2.X.Chase.tgds_applied s2.X.Chase.egd_checks
+                  s2.X.Chase.nulls_created s2.X.Chase.rounds src;
+              true
+          | Error e1, Error e2 ->
+              if e1 <> e2 then
+                QCheck.Test.fail_reportf
+                  "error messages diverge (%s vs %s) on\n%s" e1 e2 src;
+              true
+          | Ok _, Error e ->
+              QCheck.Test.fail_reportf "columnar failed, row passed: %s\n%s" e
+                src
+          | Error e, Ok _ ->
+              QCheck.Test.fail_reportf "row failed, columnar passed: %s\n%s" e
+                src))
+
+let suite =
+  [
+    ("dict: encode/decode round-trip", `Quick, test_dict_roundtrip);
+    ("dict: cross-dictionary translation", `Quick, test_dict_xlate);
+    ("batch: round-trip with null measures", `Quick, test_batch_roundtrip);
+    ("kernels: pack/group/segment/join", `Quick, test_kernels);
+    ("instance: snapshot isolation (COW indexes)", `Quick, test_snapshot_isolation);
+    ("instance: set_batch lazy row views", `Quick, test_set_batch_lazy);
+    ("chase: columnar A/B on the overview", `Quick, test_overview_ab);
+    QCheck_alcotest.to_alcotest prop_columnar_matches_row;
+  ]
