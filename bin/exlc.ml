@@ -325,6 +325,154 @@ let optimize_cmd =
       const optimize $ file_arg $ report_arg $ fuse_mode_arg $ no_fuse_arg
       $ verify_arg)
 
+(* --- fuzz subcommand ------------------------------------------------- *)
+
+let fuzz seed count profile axes fuse out_dir replays =
+  let fail msg =
+    prerr_endline ("error: " ^ msg);
+    1
+  in
+  if Fuzz.Gen.profile_of_name profile = None then
+    fail (Printf.sprintf "unknown profile %s (quick, deep or compat)" profile)
+  else
+    match replays with
+    | _ :: _ ->
+        (* replay checked-in repro files instead of running a campaign *)
+        let failed = ref 0 in
+        List.iter
+          (fun file ->
+            match Fuzz.Scenario.load file with
+            | Error msg ->
+                incr failed;
+                Printf.eprintf "%s: cannot load: %s\n" file msg
+            | Ok scenario ->
+                List.iter
+                  (fun (c : Fuzz.Harness.check) ->
+                    let spec = Fuzz.Lattice.to_spec c.axis c.fuse in
+                    match c.outcome with
+                    | Fuzz.Harness.Agree ->
+                        Printf.printf "%s: %s agrees\n" file spec
+                    | Fuzz.Harness.Skip why ->
+                        Printf.printf "%s: %s skipped (%s)\n" file spec why
+                    | Fuzz.Harness.Disagree detail ->
+                        incr failed;
+                        Printf.printf "%s: %s DISAGREES: %s\n" file spec detail)
+                  (Fuzz.Harness.replay scenario))
+          replays;
+        if !failed = 0 then 0 else 1
+    | [] -> (
+        let specs =
+          List.map
+            (fun spec ->
+              match Fuzz.Lattice.of_spec spec with
+              | Some parsed -> Ok parsed
+              | None -> Error spec)
+            axes
+        in
+        match List.find_opt Result.is_error specs with
+        | Some (Error spec) -> fail ("unknown axis " ^ spec)
+        | Some (Ok _) -> assert false
+        | None ->
+            let specs = List.filter_map Result.to_option specs in
+            let axes =
+              match specs with
+              | [] -> Fuzz.Lattice.all
+              | specs -> List.map fst specs
+            in
+            (* an --axes entry like fusion:unsafe selects the fuser too *)
+            let fuse =
+              List.fold_left
+                (fun acc (axis, mode) ->
+                  if axis = Fuzz.Lattice.Fusion && mode <> Fuzz.Lattice.Safe then
+                    mode
+                  else acc)
+                fuse specs
+            in
+            let report =
+              Fuzz.Driver.run ~progress:prerr_endline ~axes ~fuse ?out_dir
+                ~profile ~seed ~count ()
+            in
+            print_string (Fuzz.Driver.summary report);
+            if report.Fuzz.Driver.r_disagreements = [] then 0 else 1)
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"First scenario seed (default 1).")
+
+let count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N"
+        ~doc:"Number of scenarios (consecutive seeds; default 100).")
+
+let profile_arg =
+  Arg.(
+    value & opt string "quick"
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:
+          "Generator profile: $(b,quick) (default; small data, compound \
+           statements), $(b,deep) (longer programs, exotic literals) or \
+           $(b,compat) (the historical test-suite distribution).")
+
+let axes_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "axes" ] ~docv:"AXIS"
+        ~doc:
+          "Check only this axis (repeatable): $(b,roundtrip), $(b,lint), \
+           $(b,backends), $(b,columnar), $(b,optimize), $(b,fusion) (or \
+           $(b,fusion:unsafe), $(b,fusion:off)), $(b,incremental), \
+           $(b,faults).  Default: all.")
+
+let fuzz_fuse_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("safe", Fuzz.Lattice.Safe);
+             ("unsafe", Fuzz.Lattice.Unsafe);
+             ("off", Fuzz.Lattice.Off);
+           ])
+        Fuzz.Lattice.Safe
+    & info [ "fuse" ] ~docv:"MODE"
+        ~doc:
+          "Fuser used by the fusion axis: $(b,safe) (default), $(b,unsafe) \
+           (deliberately reintroduces the historical naive aggregation \
+           fusion — the harness must catch and shrink it) or $(b,off).")
+
+let fuzz_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Write a self-contained .repro file for every disagreement.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay a .repro file (repeatable) on its recorded axes instead of \
+           running a campaign.")
+
+let fuzz_cmd =
+  let doc =
+    "differential scenario fuzzing: generate well-typed programs, data, \
+     update batches and fault plans, run them through every engine \
+     configuration (row/columnar, optimized, fused, incremental, faulted, \
+     every backend) and diff the results; disagreements are shrunk to \
+     minimal self-contained repro files"
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ seed_arg $ count_arg $ profile_arg $ axes_arg
+      $ fuzz_fuse_arg $ fuzz_out_arg $ replay_arg)
+
 let cmd =
   let doc = "compile EXL statistical programs into executable schema mappings" in
   Cmd.v
@@ -343,4 +491,5 @@ let () =
   if Array.length argv > 1 && argv.(1) = "lint" then sub "lint" lint_cmd
   else if Array.length argv > 1 && argv.(1) = "optimize" then
     sub "optimize" optimize_cmd
+  else if Array.length argv > 1 && argv.(1) = "fuzz" then sub "fuzz" fuzz_cmd
   else exit (Cmd.eval' cmd)

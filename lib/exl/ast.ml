@@ -125,6 +125,11 @@ let equal_dim_item (a : dim_item) (b : dim_item) =
 let rec equal_expr a b =
   match (a, b) with
   | Number x, Number y -> Float.equal x y
+  (* The lexer has no negative-number token, so a folded [Number (-1.)]
+     pretty-prints as [-1] and re-parses as [Neg (Number 1.)]: the two
+     spellings denote the same literal. *)
+  | Neg (Number x), Number y | Number y, Neg (Number x) ->
+      Float.equal (-.x) y
   | Cube_ref x, Cube_ref y -> x = y
   | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
       o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2

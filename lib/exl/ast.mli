@@ -108,6 +108,8 @@ val split_call_args :
     [Error] when two non-numeric arguments are present. *)
 
 val equal_expr : expr -> expr -> bool
-(** Structural equality ignoring positions. *)
+(** Structural equality ignoring positions; the two spellings of a
+    negative literal ([Neg (Number x)] and [Number (-x)]) are equal,
+    since concrete syntax cannot tell them apart. *)
 
 val equal_program : program -> program -> bool

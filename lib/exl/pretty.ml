@@ -1,6 +1,17 @@
+(* Shortest decimal form that parses back to exactly [f].  Constant
+   folding can produce floats (0.1 + 0.2) whose nearest 12-digit
+   rendering is a different float; printing those with %.12g would make
+   the round-trip land on the wrong value. *)
 let number_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact 12 with
+    | Some s -> s
+    | None -> ( match exact 15 with Some s -> s | None -> Printf.sprintf "%.17g" f)
 
 let dim_item_to_string (d : Ast.dim_item) =
   let base =
@@ -10,8 +21,26 @@ let dim_item_to_string (d : Ast.dim_item) =
   in
   match d.alias with Some a -> base ^ " as " ^ a | None -> base
 
+(* String literals must use the EXL lexer's own escape repertoire
+   (escaped quote, backslash, n, t; every other byte raw) — OCaml's %S
+   also emits r, b and decimal escapes the lexer rejects. *)
+let escape_string text =
+  let buf = Buffer.create (String.length text + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let literal_to_string = function
-  | Matrix.Value.String text -> Printf.sprintf "%S" text
+  | Matrix.Value.String text -> escape_string text
   | Matrix.Value.Float f -> number_to_string f
   | other -> Matrix.Value.to_string other
 

@@ -4,6 +4,14 @@
     ([Parser.parse (Pretty.program_to_string p)] = [p] up to positions);
     this round-trip is property-tested. *)
 
+val number_to_string : float -> string
+(** Shortest decimal form that re-parses to exactly the same float. *)
+
+val literal_to_string : Matrix.Value.t -> string
+(** A filter-condition literal in concrete syntax; strings use the EXL
+    lexer's escape repertoire (backslash-escaped quote, backslash,
+    [n], [t]). *)
+
 val expr_to_string : Ast.expr -> string
 val stmt_to_string : Ast.stmt -> string
 val decl_to_string : Ast.decl -> string

@@ -1,0 +1,90 @@
+type disagreement = {
+  d_seed : int;
+  d_spec : string;
+  d_detail : string;
+  d_stmts : int;
+  d_scenario : Scenario.t;
+  d_path : string option;
+}
+
+type report = {
+  r_scenarios : int;
+  r_checks : int;
+  r_skipped : int;
+  r_disagreements : disagreement list;
+}
+
+let run ?(progress = fun _ -> ()) ?(axes = Lattice.all) ?(fuse = Lattice.Safe)
+    ?out_dir ?(profile = "quick") ~seed ~count () =
+  let checks = ref 0 in
+  let skipped = ref 0 in
+  let disagreements = ref [] in
+  for i = 0 to count - 1 do
+    let scenario_seed = seed + i in
+    let scenario = Scenario.generate ~profile scenario_seed in
+    let results = Harness.run ~axes ~fuse scenario in
+    List.iter
+      (fun (c : Harness.check) ->
+        incr checks;
+        match c.outcome with
+        | Harness.Agree -> ()
+        | Harness.Skip _ -> incr skipped
+        | Harness.Disagree detail ->
+            let spec = Lattice.to_spec c.axis c.fuse in
+            progress
+              (Printf.sprintf "seed %d: %s disagrees (%s); shrinking..."
+                 scenario_seed spec detail);
+            let shrunk = Harness.shrink ~fuse:c.fuse ~axis:c.axis scenario in
+            let detail =
+              match Harness.check_axis ~fuse:c.fuse shrunk c.axis with
+              | Harness.Disagree d -> d
+              | _ -> detail
+            in
+            let repro = { shrunk with Scenario.axes = [ spec ] } in
+            let path =
+              Option.map
+                (fun dir ->
+                  Scenario.save ~dir
+                    ~name:
+                      (Printf.sprintf "seed%d-%s.repro" scenario_seed
+                         (String.map (fun ch -> if ch = ':' then '-' else ch) spec))
+                    repro)
+                out_dir
+            in
+            disagreements :=
+              {
+                d_seed = scenario_seed;
+                d_spec = spec;
+                d_detail = detail;
+                d_stmts = Harness.stmt_count repro;
+                d_scenario = repro;
+                d_path = path;
+              }
+              :: !disagreements)
+      results;
+    if (i + 1) mod 25 = 0 then
+      progress (Printf.sprintf "%d/%d scenarios checked" (i + 1) count)
+  done;
+  {
+    r_scenarios = count;
+    r_checks = !checks;
+    r_skipped = !skipped;
+    r_disagreements = List.rev !disagreements;
+  }
+
+let summary r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d scenario(s), %d check(s), %d skipped, %d disagreement(s)\n"
+       r.r_scenarios r.r_checks r.r_skipped
+       (List.length r.r_disagreements));
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "- seed %d, axis %s: %s\n  shrunk to %d statement(s)%s\n"
+           d.d_seed d.d_spec d.d_detail d.d_stmts
+           (match d.d_path with
+           | Some p -> Printf.sprintf "\n  repro: %s" p
+           | None -> "")))
+    r.r_disagreements;
+  Buffer.contents buf

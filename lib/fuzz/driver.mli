@@ -1,0 +1,37 @@
+(** Fuzz campaigns: generate scenarios, run the differential harness,
+    shrink and persist disagreements ([exlc fuzz]'s engine). *)
+
+type disagreement = {
+  d_seed : int;  (** the scenario seed that produced it *)
+  d_spec : string;  (** axis spec, e.g. ["columnar"] or ["fusion:unsafe"] *)
+  d_detail : string;  (** the harness's diff summary *)
+  d_stmts : int;  (** statements left after shrinking *)
+  d_scenario : Scenario.t;  (** the shrunk scenario, axes set for replay *)
+  d_path : string option;  (** repro file, when an out-dir was given *)
+}
+
+type report = {
+  r_scenarios : int;
+  r_checks : int;  (** axis checks executed (skips included) *)
+  r_skipped : int;
+  r_disagreements : disagreement list;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?axes:Lattice.axis list ->
+  ?fuse:Lattice.fuse_mode ->
+  ?out_dir:string ->
+  ?profile:string ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run [count] scenarios derived from consecutive seeds starting at
+    [seed].  Every disagreement is shrunk ({!Harness.shrink}) and, when
+    [out_dir] is given, written as a self-contained repro file named
+    [seed<N>-<axis>.repro].  [profile] defaults to ["quick"]. *)
+
+val summary : report -> string
+(** Multi-line human summary (campaign totals, then one block per
+    disagreement). *)

@@ -1,0 +1,333 @@
+(* Random EXL programs with matching elementary data.  Statement
+   shapes cover every operator class the language has (vectorial
+   binops, scalar and black-box functions, shift, filter, inner and
+   outer joins, aggregations) plus — beyond the historical test
+   generator — compound right-hand sides that exercise the normalizer,
+   CSE and the fusion passes: aggregations over shifted operands,
+   nested binops, constant subexpressions that fold into
+   non-representable floats. *)
+open Matrix
+
+type cube_shape = {
+  name : string;
+  dims : (string * Domain.t) list;
+  series_len : int option;
+}
+
+type profile = {
+  elementary : int * int;
+  statements : int * int;
+  quarters : int;
+  regions : string list;
+  nested : float;
+  exotic_literals : bool;
+  keep : float;
+}
+
+let compat =
+  {
+    elementary = (2, 3);
+    statements = (3, 8);
+    quarters = 12;
+    regions = [ "north"; "south"; "east" ];
+    nested = 0.;
+    exotic_literals = false;
+    keep = 0.85;
+  }
+
+let quick =
+  {
+    elementary = (2, 3);
+    statements = (3, 7);
+    quarters = 10;
+    regions = [ "north"; "south" ];
+    nested = 0.35;
+    exotic_literals = false;
+    keep = 0.85;
+  }
+
+let deep =
+  {
+    elementary = (2, 4);
+    statements = (5, 14);
+    quarters = 12;
+    regions = [ "north"; "south"; "east" ];
+    nested = 0.45;
+    exotic_literals = true;
+    keep = 0.8;
+  }
+
+let profile_of_name = function
+  | "quick" -> Some quick
+  | "deep" -> Some deep
+  | "compat" -> Some compat
+  | _ -> None
+
+let quarter_domain = Domain.Period (Some Calendar.Quarter)
+
+(* Candidate dimension pools; every temporal cube uses dimension "t" so
+   generated cubes are join-compatible whenever their dim sets match. *)
+let shapes =
+  [
+    [ ("t", quarter_domain) ];
+    [ ("t", quarter_domain); ("r", Domain.String) ];
+    [ ("r", Domain.String) ];
+    [ ("t", quarter_domain); ("r", Domain.String); ("k", Domain.Int) ];
+  ]
+
+let rand_int st lo hi = lo + Random.State.int st (hi - lo + 1)
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+(* Positive measures keep sqrt-like functions and products tame. *)
+let rand_measure st = float_of_int (rand_int st 1 400) /. 4.
+
+let non_temporal_keys p dims =
+  let rec keys = function
+    | [] -> [ [] ]
+    | (_, dom) :: rest ->
+        let values =
+          match dom with
+          | Domain.String -> List.map (fun r -> Value.String r) p.regions
+          | Domain.Int -> List.map (fun i -> Value.Int i) [ 1; 2 ]
+          | _ -> [ Value.Int 0 ]
+        in
+        List.concat_map (fun v -> List.map (fun k -> v :: k) (keys rest)) values
+  in
+  keys (List.filter (fun (_, d) -> not (Domain.is_temporal d)) dims)
+
+let quarters p =
+  List.init p.quarters (fun i ->
+      Value.Period (Calendar.Period.make Calendar.Quarter ((2019 * 4) + i)))
+
+(* Temporal cubes get full, contiguous series per kept slice (sparsity
+   lives at the slice level); purely categorical cubes get pointwise
+   sparsity.  This keeps stl/diff preconditions decidable statically. *)
+let fill_cube p st cube dims =
+  let has_time = List.exists (fun (_, d) -> Domain.is_temporal d) dims in
+  let tpos = ref (-1) in
+  List.iteri (fun i (_, d) -> if Domain.is_temporal d then tpos := i) dims;
+  let insert key = Cube.set cube (Tuple.of_list key) (Value.Float (rand_measure st)) in
+  if has_time then
+    List.iter
+      (fun rest_key ->
+        if Random.State.float st 1.0 < p.keep then
+          List.iter
+            (fun q ->
+              (* splice q into position !tpos among the other dims *)
+              let rec splice i rest =
+                if i = !tpos then q :: rest
+                else
+                  match rest with
+                  | [] -> [ q ]
+                  | x :: xs -> x :: splice (i + 1) xs
+              in
+              insert (splice 0 rest_key))
+            (quarters p))
+      (non_temporal_keys p dims)
+  else
+    List.iter
+      (fun key -> if Random.State.float st 1.0 < p.keep then insert key)
+      (non_temporal_keys p dims)
+
+let domain_keyword = function
+  | Domain.Period (Some Calendar.Quarter) -> "quarter"
+  | Domain.String -> "string"
+  | Domain.Int -> "int"
+  | Domain.Date -> "date"
+  | d -> Domain.to_string d
+
+let decl_of { name; dims; _ } =
+  Printf.sprintf "cube %s(%s);" name
+    (String.concat ", "
+       (List.map (fun (n, d) -> Printf.sprintf "%s: %s" n (domain_keyword d)) dims))
+
+(* Exotic-but-lexable string literals: the EXL lexer understands
+   escaped quote / backslash / n / t and passes any other byte raw. *)
+let exotic_strings =
+  [ "qu\"ote"; "back\\slash"; "tab\tsep"; "new\nline"; "caf\xc3\xa9"; " pad " ]
+
+let same_dims a b =
+  List.sort compare (List.map fst a.dims) = List.sort compare (List.map fst b.dims)
+
+(* Build one random statement over the cubes defined so far; returns
+   the statement source and the shape of the new cube. *)
+let rand_stmt p st idx available =
+  let lhs = Printf.sprintf "D%d" idx in
+  let operand = pick st available in
+  let simple () =
+    let choice = rand_int st 0 8 in
+    match choice with
+    | 0 ->
+        (* binary op between cubes with the same dims *)
+        let partner = pick st (List.filter (same_dims operand) available) in
+        let op = pick st [ "+"; "-"; "*" ] in
+        let series_len =
+          (* Intersection of two full slices is full only if both cover
+             the same quarters, which holds when neither was shifted;
+             be conservative: only keep the guarantee when both operands
+             carry one and take the min. *)
+          match (operand.series_len, partner.series_len) with
+          | Some a, Some b -> Some (min a b)
+          | _ -> None
+        in
+        ( Printf.sprintf "%s := %s %s %s;" lhs operand.name op partner.name,
+          { name = lhs; dims = operand.dims; series_len } )
+    | 1 ->
+        let k = float_of_int (rand_int st 1 9) in
+        let op = pick st [ "+"; "*" ] in
+        ( Printf.sprintf "%s := %s %s %g;" lhs operand.name op k,
+          { operand with name = lhs } )
+    | 2 ->
+        (* total functions only: sqrt of a negative (possible after
+           subtraction) would drop tuples and invalidate series_len *)
+        let fn = pick st [ "abs"; "round"; "incr" ] in
+        ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
+          { operand with name = lhs } )
+    | 3 when operand.series_len <> None ->
+        let k = rand_int st (-3) 3 in
+        (* Shifting moves the window: slices stay full and contiguous,
+           but a later join with an unshifted cube loses the guarantee —
+           encode that by dropping it. *)
+        ( Printf.sprintf "%s := shift(%s, %d);" lhs operand.name k,
+          { name = lhs; dims = operand.dims; series_len = None } )
+    | 4 when operand.dims <> [] ->
+        let aggr = pick st [ "sum"; "avg"; "min"; "max"; "count" ] in
+        let n = rand_int st 1 (List.length operand.dims) in
+        let kept = List.filteri (fun i _ -> i < n) operand.dims in
+        let keeps_time = List.exists (fun (_, d) -> Domain.is_temporal d) kept in
+        ( Printf.sprintf "%s := %s(%s, group by %s);" lhs aggr operand.name
+            (String.concat ", " (List.map fst kept)),
+          {
+            name = lhs;
+            dims = kept;
+            series_len = (if keeps_time then operand.series_len else None);
+          } )
+    | 5 when (match operand.series_len with Some l -> l >= 2 | None -> false) ->
+        let fn = pick st [ "cumsum"; "lintrend"; "zscore" ] in
+        ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
+          { operand with name = lhs } )
+    | 6 when (match operand.series_len with Some l -> l >= 9 | None -> false) ->
+        let fn = pick st [ "stl_t"; "stl_s"; "deseason"; "diff" ] in
+        let series_len =
+          match (fn, operand.series_len) with
+          | "diff", Some l -> Some (l - 1)
+          | _, l -> l
+        in
+        ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
+          { name = lhs; dims = operand.dims; series_len } )
+    | 7 when List.mem_assoc "r" operand.dims ->
+        let region =
+          if p.exotic_literals && Random.State.float st 1.0 < 0.3 then
+            pick st exotic_strings
+          else pick st p.regions
+        in
+        (* whole slices are kept or dropped, so per-slice series stay
+           full and the guarantee survives (vacuously so for an exotic
+           literal matching no slice at all) *)
+        ( Printf.sprintf "%s := filter(%s, r = %s);" lhs operand.name
+            (Exl.Pretty.literal_to_string (Value.String region)),
+          { operand with name = lhs } )
+    | 8 ->
+        (* default-value vectorial variant: union of key sets *)
+        let partner = pick st (List.filter (same_dims operand) available) in
+        let op = pick st [ "vadd"; "vsub"; "vmul" ] in
+        let series_len =
+          (* union of full, equally ranged slices stays full *)
+          match (operand.series_len, partner.series_len) with
+          | Some a, Some b when a = b -> Some a
+          | _ -> None
+        in
+        ( Printf.sprintf "%s := %s(%s, %s);" lhs op operand.name partner.name,
+          { name = lhs; dims = operand.dims; series_len } )
+    | _ ->
+        ( Printf.sprintf "%s := 2 * %s;" lhs operand.name,
+          { operand with name = lhs } )
+  in
+  let compound () =
+    let choice = rand_int st 0 3 in
+    match choice with
+    | 0 when operand.series_len <> None && operand.dims <> [] ->
+        (* aggregation over a shifted operand: normalizes into a shift
+           temp feeding the aggregation tgd — the exact shape whose
+           naive fusion PR 6 outlawed *)
+        let aggr = pick st [ "sum"; "avg"; "min"; "max" ] in
+        let k = rand_int st 1 2 in
+        let n = rand_int st 1 (List.length operand.dims) in
+        let kept = List.filteri (fun i _ -> i < n) operand.dims in
+        ( Printf.sprintf "%s := %s(shift(%s, %d), group by %s);" lhs aggr
+            operand.name k
+            (String.concat ", " (List.map fst kept)),
+          { name = lhs; dims = kept; series_len = None } )
+    | 1 ->
+        (* nested binop over three join-compatible cubes *)
+        let partners = List.filter (same_dims operand) available in
+        let b = pick st partners and c = pick st partners in
+        let op1 = pick st [ "+"; "-"; "*" ] and op2 = pick st [ "+"; "*" ] in
+        let series_len =
+          match (operand.series_len, b.series_len, c.series_len) with
+          | Some x, Some y, Some z -> Some (min x (min y z))
+          | _ -> None
+        in
+        ( Printf.sprintf "%s := (%s %s %s) %s %s;" lhs operand.name op1 b.name
+            op2 c.name,
+          { name = lhs; dims = operand.dims; series_len } )
+    | 2 ->
+        (* scalar function over a difference *)
+        let partner = pick st (List.filter (same_dims operand) available) in
+        let series_len =
+          match (operand.series_len, partner.series_len) with
+          | Some a, Some b -> Some (min a b)
+          | _ -> None
+        in
+        ( Printf.sprintf "%s := abs(%s - %s);" lhs operand.name partner.name,
+          { name = lhs; dims = operand.dims; series_len } )
+    | _ ->
+        (* constant subexpression: folds at normalization time into a
+           float whose shortest decimal form needs >12 digits —
+           parse/pretty round-trip fodder *)
+        let c1 = float_of_int (rand_int st 1 9) /. 10. in
+        let c2 = float_of_int (rand_int st 1 9) /. 10. in
+        ( Printf.sprintf "%s := %s * (%g + %g);" lhs operand.name c1 c2,
+          { operand with name = lhs } )
+  in
+  if Random.State.float st 1.0 < p.nested then compound () else simple ()
+
+let rand_program_and_data ?(profile = compat) st =
+  let p = profile in
+  let n_elementary = rand_int st (fst p.elementary) (snd p.elementary) in
+  let elementary =
+    List.init n_elementary (fun i ->
+        let dims = pick st shapes in
+        let temporal =
+          List.length (List.filter (fun (_, d) -> Domain.is_temporal d) dims)
+        in
+        {
+          name = Printf.sprintf "E%d" i;
+          dims;
+          series_len = (if temporal = 1 then Some p.quarters else None);
+        })
+  in
+  let n_stmts = rand_int st (fst p.statements) (snd p.statements) in
+  let rec build idx available acc =
+    if idx > n_stmts then List.rev acc
+    else
+      let src, shape = rand_stmt p st idx available in
+      build (idx + 1) (shape :: available) (src :: acc)
+  in
+  let stmts = build 1 elementary [] in
+  let source =
+    String.concat "\n" (List.map decl_of elementary @ stmts) ^ "\n"
+  in
+  let registry = Registry.create () in
+  List.iter
+    (fun shape ->
+      let schema = Schema.make ~name:shape.name ~dims:shape.dims () in
+      let cube = Cube.create schema in
+      fill_cube p st cube shape.dims;
+      Registry.add registry Registry.Elementary cube)
+    elementary;
+  (source, registry)
+
+let program_of_seed ?profile seed =
+  let st = Random.State.make [| seed; 0xE1; 0x5E |] in
+  rand_program_and_data ?profile st

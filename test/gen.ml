@@ -1,242 +1,11 @@
 (* Random EXL programs with matching elementary data, for property
-   tests: the core theorem (chase == interpreter == every target
-   engine) must hold on arbitrary well-typed programs, not just the
-   paper's example. *)
-open Matrix
+   tests.  The generator itself was promoted to the library level
+   (lib/fuzz, driving [exlc fuzz]); this shim keeps the historical
+   distribution — the [compat] profile, the default of
+   [Fuzz.Gen.program_of_seed] — so the in-tree qcheck properties run on
+   exactly the program shapes they always did, while the fuzzer layers
+   richer profiles (compound statements, exotic literals) on top. *)
 
-type cube_shape = {
-  name : string;
-  dims : (string * Domain.t) list;
-  series_len : int option;
-      (* Guaranteed length of every temporal slice, when the cube has
-         exactly one temporal dimension and its slices are full,
-         contiguous quarter ranges; None otherwise.  Used to gate
-         operators with length preconditions (stl needs two periods). *)
-}
+include Fuzz.Gen
 
-let quarter_domain = Domain.Period (Some Calendar.Quarter)
-let n_quarters = 12
-
-(* Candidate dimension pools; every temporal cube uses dimension "t" so
-   generated cubes are join-compatible whenever their dim sets match. *)
-let shapes =
-  [
-    [ ("t", quarter_domain) ];
-    [ ("t", quarter_domain); ("r", Domain.String) ];
-    [ ("r", Domain.String) ];
-    [ ("t", quarter_domain); ("r", Domain.String); ("k", Domain.Int) ];
-  ]
-
-let regions = [ "north"; "south"; "east" ]
-
-let rand_int st lo hi = lo + Random.State.int st (hi - lo + 1)
-let pick st xs = List.nth xs (Random.State.int st (List.length xs))
-
-(* Positive measures keep sqrt-like functions and products tame. *)
-let rand_measure st = float_of_int (rand_int st 1 400) /. 4.
-
-let non_temporal_keys dims =
-  let rec keys = function
-    | [] -> [ [] ]
-    | (_, dom) :: rest ->
-        let values =
-          match dom with
-          | Domain.String -> List.map (fun r -> Value.String r) regions
-          | Domain.Int -> List.map (fun i -> Value.Int i) [ 1; 2 ]
-          | _ -> [ Value.Int 0 ]
-        in
-        List.concat_map (fun v -> List.map (fun k -> v :: k) (keys rest)) values
-  in
-  keys (List.filter (fun (_, d) -> not (Domain.is_temporal d)) dims)
-
-let quarters =
-  List.init n_quarters (fun i ->
-      Value.Period (Calendar.Period.make Calendar.Quarter ((2019 * 4) + i)))
-
-(* Temporal cubes get full, contiguous series per kept slice (sparsity
-   lives at the slice level); purely categorical cubes get pointwise
-   sparsity.  This keeps stl/diff preconditions decidable statically. *)
-let fill_cube st cube dims =
-  let has_time = List.exists (fun (_, d) -> Domain.is_temporal d) dims in
-  let tpos = ref (-1) in
-  List.iteri (fun i (_, d) -> if Domain.is_temporal d then tpos := i) dims;
-  let insert key = Cube.set cube (Tuple.of_list key) (Value.Float (rand_measure st)) in
-  if has_time then
-    List.iter
-      (fun rest_key ->
-        if Random.State.float st 1.0 < 0.85 then
-          List.iter
-            (fun q ->
-              (* splice q into position !tpos among the other dims *)
-              let rec splice i rest =
-                if i = !tpos then q :: rest
-                else
-                  match rest with
-                  | [] -> [ q ]
-                  | x :: xs -> x :: splice (i + 1) xs
-              in
-              insert (splice 0 rest_key))
-            quarters)
-      (non_temporal_keys dims)
-  else
-    List.iter
-      (fun key -> if Random.State.float st 1.0 < 0.85 then insert key)
-      (non_temporal_keys dims)
-
-let domain_keyword = function
-  | Domain.Period (Some Calendar.Quarter) -> "quarter"
-  | Domain.String -> "string"
-  | Domain.Int -> "int"
-  | Domain.Date -> "date"
-  | d -> Domain.to_string d
-
-let decl_of { name; dims; _ } =
-  Printf.sprintf "cube %s(%s);" name
-    (String.concat ", "
-       (List.map (fun (n, d) -> Printf.sprintf "%s: %s" n (domain_keyword d)) dims))
-
-(* Build one random statement over the cubes defined so far; returns
-   the statement source and the shape of the new cube. *)
-let rand_stmt st idx available =
-  let lhs = Printf.sprintf "D%d" idx in
-  let operand = pick st available in
-  let choice = rand_int st 0 8 in
-  match choice with
-  | 0 ->
-      (* binary op between cubes with the same dims *)
-      let partners =
-        List.filter
-          (fun c ->
-            List.sort compare (List.map fst c.dims)
-            = List.sort compare (List.map fst operand.dims))
-          available
-      in
-      let partner = pick st partners in
-      let op = pick st [ "+"; "-"; "*" ] in
-      let series_len =
-        (* Intersection of two full slices is full only if both cover
-           the same quarters, which holds when neither was shifted;
-           be conservative: only keep the guarantee when both operands
-           carry one and take the min. *)
-        match (operand.series_len, partner.series_len) with
-        | Some a, Some b -> Some (min a b)
-        | _ -> None
-      in
-      ( Printf.sprintf "%s := %s %s %s;" lhs operand.name op partner.name,
-        { name = lhs; dims = operand.dims; series_len } )
-  | 1 ->
-      let k = float_of_int (rand_int st 1 9) in
-      let op = pick st [ "+"; "*" ] in
-      ( Printf.sprintf "%s := %s %s %g;" lhs operand.name op k,
-        { operand with name = lhs } )
-  | 2 ->
-      (* total functions only: sqrt of a negative (possible after
-         subtraction) would drop tuples and invalidate series_len *)
-      let fn = pick st [ "abs"; "round"; "incr" ] in
-      ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
-        { operand with name = lhs } )
-  | 3 when operand.series_len <> None ->
-      let k = rand_int st (-3) 3 in
-      (* Shifting moves the window: slices stay full and contiguous,
-         but a later join with an unshifted cube loses the guarantee —
-         encode that by dropping it. *)
-      ( Printf.sprintf "%s := shift(%s, %d);" lhs operand.name k,
-        { name = lhs; dims = operand.dims; series_len = None } )
-  | 4 when operand.dims <> [] ->
-      let aggr = pick st [ "sum"; "avg"; "min"; "max"; "count" ] in
-      let n = rand_int st 1 (List.length operand.dims) in
-      let kept = List.filteri (fun i _ -> i < n) operand.dims in
-      let keeps_time =
-        List.exists (fun (_, d) -> Domain.is_temporal d) kept
-      in
-      ( Printf.sprintf "%s := %s(%s, group by %s);" lhs aggr operand.name
-          (String.concat ", " (List.map fst kept)),
-        {
-          name = lhs;
-          dims = kept;
-          series_len = (if keeps_time then operand.series_len else None);
-        } )
-  | 5 when (match operand.series_len with Some l -> l >= 2 | None -> false) ->
-      let fn = pick st [ "cumsum"; "lintrend"; "zscore" ] in
-      ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
-        { operand with name = lhs } )
-  | 6 when (match operand.series_len with Some l -> l >= 9 | None -> false) ->
-      let fn = pick st [ "stl_t"; "stl_s"; "deseason"; "diff" ] in
-      let series_len =
-        match (fn, operand.series_len) with
-        | "diff", Some l -> Some (l - 1)
-        | _, l -> l
-      in
-      ( Printf.sprintf "%s := %s(%s);" lhs fn operand.name,
-        { name = lhs; dims = operand.dims; series_len } )
-  | 7 when List.mem_assoc "r" operand.dims ->
-      let region = pick st regions in
-      (* whole slices are kept or dropped, so per-slice series stay
-         full and the guarantee survives *)
-      ( Printf.sprintf "%s := filter(%s, r = \"%s\");" lhs operand.name region,
-        { operand with name = lhs } )
-  | 8 ->
-      (* default-value vectorial variant: union of key sets *)
-      let partners =
-        List.filter
-          (fun c ->
-            List.sort compare (List.map fst c.dims)
-            = List.sort compare (List.map fst operand.dims))
-          available
-      in
-      let partner = pick st partners in
-      let op = pick st [ "vadd"; "vsub"; "vmul" ] in
-      let series_len =
-        (* union of full, equally ranged slices stays full *)
-        match (operand.series_len, partner.series_len) with
-        | Some a, Some b when a = b -> Some a
-        | _ -> None
-      in
-      ( Printf.sprintf "%s := %s(%s, %s);" lhs op operand.name partner.name,
-        { name = lhs; dims = operand.dims; series_len } )
-  | _ ->
-      ( Printf.sprintf "%s := 2 * %s;" lhs operand.name,
-        { operand with name = lhs } )
-
-let rand_program_and_data st =
-  let n_elementary = rand_int st 2 3 in
-  let elementary =
-    List.init n_elementary (fun i ->
-        let dims = pick st shapes in
-        let temporal =
-          List.length (List.filter (fun (_, d) -> Domain.is_temporal d) dims)
-        in
-        {
-          name = Printf.sprintf "E%d" i;
-          dims;
-          series_len = (if temporal = 1 then Some n_quarters else None);
-        })
-  in
-  let n_stmts = rand_int st 3 8 in
-  let rec build idx available acc =
-    if idx > n_stmts then List.rev acc
-    else
-      let src, shape = rand_stmt st idx available in
-      build (idx + 1) (shape :: available) (src :: acc)
-  in
-  let stmts = build 1 elementary [] in
-  let source =
-    String.concat "\n" (List.map decl_of elementary @ stmts) ^ "\n"
-  in
-  let registry = Registry.create () in
-  List.iter
-    (fun shape ->
-      let schema = Schema.make ~name:shape.name ~dims:shape.dims () in
-      let cube = Cube.create schema in
-      fill_cube st cube shape.dims;
-      Registry.add registry Registry.Elementary cube)
-    elementary;
-  (source, registry)
-
-(* QCheck arbitrary wrapping: generate a seed, derive program and data
-   deterministically so failures are reproducible from the seed. *)
 let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
-
-let program_of_seed seed =
-  let st = Random.State.make [| seed; 0xE1; 0x5E |] in
-  rand_program_and_data st

@@ -103,3 +103,17 @@ let check_ok = function
 let check_err what = function
   | Ok _ -> Alcotest.failf "%s: expected an error" what
   | Error (e : Exl.Errors.t) -> e.Exl.Errors.msg
+
+(* Unified qcheck budget reader (docs/TESTING.md): each property suite
+   reads its own variable, every variable falls back to the shared
+   EXL_QCHECK_COUNT, then to the suite's default.  Non-numeric and
+   non-positive values are ignored. *)
+let qcheck_count ~var ~default =
+  let read v =
+    match Option.bind (Sys.getenv_opt v) int_of_string_opt with
+    | Some n when n > 0 -> Some n
+    | _ -> None
+  in
+  match read var with
+  | Some n -> n
+  | None -> Option.value ~default (read "EXL_QCHECK_COUNT")

@@ -36,5 +36,6 @@ let () =
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
+      ("fuzz", Test_fuzz.suite);
       ("edges", Test_edges.suite);
     ]

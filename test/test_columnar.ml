@@ -228,9 +228,7 @@ let test_overview_ab () =
 (* --- the property: chase ~columnar:true == chase ~columnar:false --- *)
 
 let qcheck_count =
-  match Option.bind (Sys.getenv_opt "EXL_COL_QCHECK_COUNT") int_of_string_opt with
-  | Some n when n > 0 -> n
-  | _ -> 30
+  Helpers.qcheck_count ~var:"EXL_COL_QCHECK_COUNT" ~default:30
 
 let prop_columnar_matches_row =
   QCheck.Test.make ~count:qcheck_count

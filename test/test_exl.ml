@@ -101,6 +101,57 @@ let test_roundtrip_overview () =
   let p2 = parse_ok printed in
   Alcotest.(check bool) "roundtrip" true (Exl.Ast.equal_program p p2)
 
+(* Regressions found by the scenario fuzzer (exlc fuzz, roundtrip axis). *)
+
+let test_pretty_float_shortest_roundtrip () =
+  (* %.12g would print 0.30000000000000004 (the fold of 0.1 + 0.2) as
+     0.3 — a different float; the printer must widen until the decimal
+     form parses back exactly *)
+  List.iter
+    (fun f ->
+      let s = Exl.Pretty.number_to_string f in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%h round-trips via %s" f s)
+        f (float_of_string s))
+    [ 0.1 +. 0.2; 0.3; 1. /. 3.; 1.05 *. 0.7; 2.675; -0.30000000000000004 ];
+  (* end to end: normalization folds the constant, pretty must not lose
+     the fold's low bits *)
+  let p =
+    Exl.Normalize.program
+      (parse_ok "cube A(t: quarter);\nB := A * (0.1 + 0.2);\n")
+  in
+  let p2 = parse_ok (Exl.Pretty.program_to_string p) in
+  Alcotest.(check bool) "folded constant round-trips" true
+    (Exl.Ast.equal_program p p2)
+
+let test_pretty_string_escapes_lexable () =
+  (* OCaml's %S emits \r, \b and decimal escapes the EXL lexer rejects;
+     the printer must stick to the lexer's repertoire *)
+  List.iter
+    (fun text ->
+      let lit = Exl.Pretty.literal_to_string (Value.String text) in
+      let src = Printf.sprintf "cube A(r: string);\nB := filter(A, r = %s);\n" lit in
+      let p = parse_ok src in
+      match Exl.Ast.stmts p with
+      | [ { rhs = Exl.Ast.Call { conditions = [ (_, Value.String back) ]; _ }; _ } ] ->
+          Alcotest.(check string) ("escape of " ^ String.escaped text) text back
+      | _ -> Alcotest.fail "unexpected parse of filter condition")
+    [ "qu\"ote"; "back\\slash"; "tab\tsep"; "new\nline"; "caf\xc3\xa9"; " pad "; "cr\rlf" ]
+
+let test_negative_literal_spellings_equal () =
+  (* the lexer has no negative-number token: Number (-1.) (a constant
+     fold) and Neg (Number 1.) (a re-parse) print identically, so they
+     must compare equal *)
+  Alcotest.(check bool) "Number (-1.) = Neg (Number 1.)" true
+    (Exl.Ast.equal_expr (Exl.Ast.Number (-1.)) (Exl.Ast.Neg (Exl.Ast.Number 1.)));
+  let p =
+    Exl.Normalize.program
+      (parse_ok "cube A(t: quarter);\nB := A + A;\nC := shift(B, -1);\n")
+  in
+  let p2 = parse_ok (Exl.Pretty.program_to_string p) in
+  Alcotest.(check bool) "normalized shift(-1) round-trips" true
+    (Exl.Ast.equal_program p p2)
+
 (* --- typechecker --- *)
 
 let test_check_overview () =
@@ -486,6 +537,9 @@ let suite =
     ("parser: error cases", `Quick, test_parse_errors);
     ("parser: group by must be last", `Quick, test_group_by_must_be_last);
     ("pretty: overview round-trips", `Quick, test_roundtrip_overview);
+    ("pretty: floats shortest round-trip", `Quick, test_pretty_float_shortest_roundtrip);
+    ("pretty: string escapes lexable", `Quick, test_pretty_string_escapes_lexable);
+    ("ast: negative literal spellings equal", `Quick, test_negative_literal_spellings_equal);
     ("check: overview schemas", `Quick, test_check_overview);
     ("check: rejects redefinition", `Quick, test_check_rejects_redefinition);
     ("check: rejects unknown cube", `Quick, test_check_rejects_unknown_cube);

@@ -722,6 +722,58 @@ let test_facade_degraded_history () =
   Alcotest.(check (list string)) "dirty set still cleared" []
     (Engine.Exlengine.changed engine)
 
+(* The as-of view across a degraded run: a quarantined or skipped cube
+   gets no new dated version, so [cube_as_of] at the later date still
+   answers with the last successfully computed one. *)
+let test_cube_as_of_survives_quarantine () =
+  let quarter = Domain.Period (Some Calendar.Quarter) in
+  let faults =
+    Engine.Faults.plan
+      [
+        Engine.Faults.trigger ~cube:"Z" ~times:Engine.Faults.always Execute
+          exec_error;
+      ]
+  in
+  let config =
+    facade_config ~faults ~policy:Engine.Dispatcher.default_policy ()
+  in
+  let engine = Engine.Exlengine.create ~config () in
+  ok
+    (Engine.Exlengine.register_program engine ~name:"p"
+       "cube A(q: quarter);\nB := A + 1;\nC := B * 2;\n");
+  ok
+    (Engine.Exlengine.load_elementary engine
+       (cube_of "A" [ ("q", quarter) ] [ [ vq 2024 1; vf 1. ] ]));
+  let d1 = Calendar.Date.make ~year:2026 ~month:3 ~day:1 in
+  let d2 = Calendar.Date.make ~year:2026 ~month:4 ~day:1 in
+  ignore (ok (Engine.Exlengine.recompute_all ~as_of:d1 engine));
+  let b_v1 = Option.get (Engine.Exlengine.cube engine "B") in
+  (* Z arrives in a second program, so the first run never matched the
+     trigger.  Once A is revised, B, C and Z share the dirty set and —
+     under the default single-target policy — one subgraph, so the
+     whole group quarantines on the second run. *)
+  ok
+    (Engine.Exlengine.register_program engine ~name:"q"
+       "cube X(q: quarter);\nZ := X * 2;\n");
+  ok
+    (Engine.Exlengine.load_elementary engine
+       (cube_of "X" [ ("q", quarter) ] [ [ vq 2024 1; vf 1. ] ]));
+  ok
+    (Engine.Exlengine.load_elementary engine
+       (cube_of "A" [ ("q", quarter) ] [ [ vq 2024 1; vf 9. ] ]));
+  let report = ok (Engine.Exlengine.recompute ~as_of:d2 engine) in
+  Alcotest.(check bool) "second run degraded" true
+    (Engine.Dispatcher.degraded report);
+  let history = Engine.Exlengine.history engine in
+  Alcotest.(check int) "B keeps its single d1 version" 1
+    (Engine.Historicity.version_count history "B");
+  Alcotest.(check int) "Z never versioned" 0
+    (Engine.Historicity.version_count history "Z");
+  Alcotest.check cube_eq "as-of d2 still answers the d1 cube" b_v1
+    (Option.get (Engine.Exlengine.cube_as_of engine d2 "B"));
+  Alcotest.(check bool) "as-of d2 has no Z" true
+    (Option.is_none (Engine.Exlengine.cube_as_of engine d2 "Z"))
+
 (* --- failure transparency, property-tested ---
 
    For any seeded fault plan whose triggers never touch the sql target
@@ -730,9 +782,7 @@ let test_facade_degraded_history () =
    faults are invisible in the data, only in the report. *)
 
 let qcheck_count =
-  match Sys.getenv_opt "EXL_FAULT_QCHECK_COUNT" with
-  | Some s -> (try int_of_string s with _ -> 40)
-  | None -> 40
+  Helpers.qcheck_count ~var:"EXL_FAULT_QCHECK_COUNT" ~default:40
 
 let arb_sql_free_plan =
   let open QCheck in
@@ -884,6 +934,7 @@ let suite =
     ("translation: cache not poisoned by injected faults", `Quick, test_translation_cache_not_poisoned);
     ("facade: transparent recovery", `Quick, test_facade_transparent_recovery);
     ("facade: degraded run records no history for dead cubes", `Quick, test_facade_degraded_history);
+    ("facade: cube_as_of survives quarantine", `Quick, test_cube_as_of_survives_quarantine);
     QCheck_alcotest.to_alcotest prop_plan_text_roundtrip;
     QCheck_alcotest.to_alcotest prop_failure_transparency;
   ]

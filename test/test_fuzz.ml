@@ -1,0 +1,137 @@
+(* The fuzzer's own suite: generated scenarios must agree on every
+   lattice axis, repro files must round-trip, the checked-in corpus of
+   shrunk counterexamples must replay clean, and — the acceptance check
+   — the deliberately unsafe aggregation fuser must be caught and
+   shrunk to a tiny repro. *)
+
+let qcheck_count = Helpers.qcheck_count ~var:"EXL_FUZZ_QCHECK_COUNT" ~default:25
+
+let spec_of (c : Fuzz.Harness.check) =
+  Fuzz.Lattice.to_spec c.Fuzz.Harness.axis c.Fuzz.Harness.fuse
+
+let no_disagreement what checks =
+  List.iter
+    (fun (c : Fuzz.Harness.check) ->
+      match c.Fuzz.Harness.outcome with
+      | Fuzz.Harness.Disagree d ->
+          Alcotest.failf "%s: axis %s disagrees\n%s" what (spec_of c) d
+      | Fuzz.Harness.Agree | Fuzz.Harness.Skip _ -> ())
+    checks
+
+(* --- every generated scenario agrees on every axis --- *)
+
+let arb_fuzz_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000)
+
+let agree_prop ~profile =
+  QCheck.Test.make ~count:qcheck_count
+    ~name:(Printf.sprintf "fuzz: %s scenarios agree on all axes" profile)
+    arb_fuzz_seed
+    (fun seed ->
+      let s = Fuzz.Scenario.generate ~profile seed in
+      no_disagreement (Printf.sprintf "%s seed %d" profile seed)
+        (Fuzz.Harness.run s);
+      true)
+
+let prop_quick_agree = agree_prop ~profile:"quick"
+let prop_deep_agree = agree_prop ~profile:"deep"
+
+(* --- repro files round-trip --- *)
+
+let batches_to_strings = List.map (List.map Engine.Update.to_string)
+
+let prop_repro_roundtrip =
+  QCheck.Test.make ~count:qcheck_count ~name:"fuzz: repro file round-trips"
+    arb_fuzz_seed
+    (fun seed ->
+      let s = Fuzz.Scenario.generate ~profile:"deep" seed in
+      let s = { s with Fuzz.Scenario.axes = [ "columnar"; "fusion:unsafe" ] } in
+      match Fuzz.Scenario.of_string (Fuzz.Scenario.to_string s) with
+      | Error e -> QCheck.Test.fail_reportf "seed %d: parse failed: %s" seed e
+      | Ok s' ->
+          let open Fuzz.Scenario in
+          s'.seed = s.seed && s'.profile = s.profile && s'.axes = s.axes
+          && String.trim s'.source = String.trim s.source
+          && batches_to_strings s'.updates = batches_to_strings s.updates
+          && Option.map Engine.Faults.to_string s'.faults
+             = Option.map Engine.Faults.to_string s.faults
+          && Matrix.Registry.equal_data ~eps:1e-9 s'.data s.data
+          || QCheck.Test.fail_reportf "seed %d: repro round-trip diverged" seed)
+
+(* --- the checked-in corpus replays clean --- *)
+
+let corpus_files () =
+  if Sys.file_exists "corpus" && Sys.is_directory "corpus" then
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+  else []
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is not empty" true (files <> []);
+  List.iter
+    (fun f ->
+      match Fuzz.Scenario.load (Filename.concat "corpus" f) with
+      | Error e -> Alcotest.failf "%s: %s" f e
+      | Ok s ->
+          let checks = Fuzz.Harness.replay s in
+          Alcotest.(check bool)
+            (f ^ " ran at least one check")
+            true (checks <> []);
+          no_disagreement f checks)
+    files
+
+(* --- acceptance: the unsafe fuser is caught and shrunk small --- *)
+
+let test_unsafe_fuser_caught_and_shrunk () =
+  let rec find seed =
+    if seed > 60 then
+      Alcotest.fail "no unsafe-fusion disagreement in seeds 1..60"
+    else
+      let s = Fuzz.Scenario.generate ~profile:"quick" seed in
+      match
+        Fuzz.Harness.check_axis ~fuse:Fuzz.Lattice.Unsafe s Fuzz.Lattice.Fusion
+      with
+      | Fuzz.Harness.Disagree _ -> (seed, s)
+      | Fuzz.Harness.Agree | Fuzz.Harness.Skip _ -> find (seed + 1)
+  in
+  let seed, s = find 1 in
+  let shrunk =
+    Fuzz.Harness.shrink ~fuse:Fuzz.Lattice.Unsafe ~axis:Fuzz.Lattice.Fusion s
+  in
+  (match
+     Fuzz.Harness.check_axis ~fuse:Fuzz.Lattice.Unsafe shrunk
+       Fuzz.Lattice.Fusion
+   with
+  | Fuzz.Harness.Disagree _ -> ()
+  | Fuzz.Harness.Agree | Fuzz.Harness.Skip _ ->
+      Alcotest.fail "shrunk scenario no longer disagrees");
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d shrinks to at most 5 statements (got %d)" seed
+       (Fuzz.Harness.stmt_count shrunk))
+    true
+    (Fuzz.Harness.stmt_count shrunk <= 5)
+
+(* --- a small campaign through the driver --- *)
+
+let test_driver_campaign () =
+  let r = Fuzz.Driver.run ~profile:"quick" ~seed:1 ~count:8 () in
+  Alcotest.(check int) "eight scenarios" 8 r.Fuzz.Driver.r_scenarios;
+  Alcotest.(check int) "all axes checked" (8 * List.length Fuzz.Lattice.all)
+    r.Fuzz.Driver.r_checks;
+  Alcotest.(check int) "no disagreements" 0
+    (List.length r.Fuzz.Driver.r_disagreements);
+  Alcotest.(check bool) "summary states the totals" true
+    (Astring_contains.contains (Fuzz.Driver.summary r) "8 scenario(s)")
+
+let suite =
+  [
+    ("corpus: every repro replays clean", `Quick, test_corpus_replay);
+    ( "acceptance: unsafe fuser caught, shrunk to <= 5 statements",
+      `Quick,
+      test_unsafe_fuser_caught_and_shrunk );
+    ("driver: quick campaign is clean", `Quick, test_driver_campaign);
+    QCheck_alcotest.to_alcotest prop_quick_agree;
+    QCheck_alcotest.to_alcotest prop_deep_agree;
+    QCheck_alcotest.to_alcotest prop_repro_roundtrip;
+  ]

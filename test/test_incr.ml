@@ -78,9 +78,17 @@ let test_update_parse () =
   in
   check_err "unknown cube" "set X 2024Q1 1\n" "unknown cube";
   check_err "bad arity" "set A 2024Q1\n" "expects 2 value(s)";
+  check_err "excess values" "set A 2024Q1 1 2\n" "expects 2 value(s), got 3";
+  check_err "del arity" "del A 2024Q1 extra\n" "expects 1 value(s), got 2";
+  check_err "missing cube" "set\n" "missing cube name";
   check_err "key domain" "set A nope 1\n" "out of domain";
   check_err "measure domain" "set A 2024Q1 north\n" "measure";
-  check_err "unknown verb" "zap A 2024Q1\n" "unknown verb"
+  check_err "unknown verb" "zap A 2024Q1\n" "unknown verb";
+  (* errors carry the 1-based line number of the offending line *)
+  check_err "line number" "set A 2024Q1 1\n\nset A oops 1\n" "line 3:";
+  (* comments and blank lines alone make an empty, valid batch *)
+  Alcotest.(check int) "comment-only batch is empty" 0
+    (List.length (ok (Engine.Update.of_string ~schema_of "# nothing\n\n  \n")))
 
 (* --- the delta-seeded chase --- *)
 
@@ -397,6 +405,58 @@ let test_apply_updates_repeated_key () =
        (Cube.find (Option.get (Engine.Exlengine.cube engine "B")) (key [ vq 2024 1 ])));
   check_derived_agree "repeated key" engine (scratch_engine source data [ batch ])
 
+let test_apply_updates_revert_within_batch () =
+  let quarter = Domain.Period (Some Calendar.Quarter) in
+  let source = "cube A(t: quarter);\nB := A + 1;\n" in
+  let data = Registry.create () in
+  Registry.add data Registry.Elementary
+    (cube_of "A" [ ("t", quarter) ] [ [ vq 2024 1; vf 1. ] ]);
+  let engine = make_engine source data in
+  ignore (ok (Engine.Exlengine.recompute engine));
+  (* a revision followed by a revision back to the original value, in
+     the same batch: compaction nets the key to no change at all *)
+  let batch =
+    [
+      Engine.Update.set ~cube:"A" ~key:[ vq 2024 1 ] (vf 5.);
+      Engine.Update.set ~cube:"A" ~key:[ vq 2024 1 ] (vf 1.);
+    ]
+  in
+  let r = ok (Engine.Exlengine.apply_updates engine batch) in
+  Alcotest.(check (list string)) "no net update" [] r.Engine.Exlengine.updated;
+  Alcotest.(check (list string)) "no recomputation" []
+    r.Engine.Exlengine.recomputed;
+  Alcotest.(check int) "no facts changed" 0 r.Engine.Exlengine.facts_changed;
+  Alcotest.check value "B unchanged" (vf 2.)
+    (Option.get
+       (Cube.find (Option.get (Engine.Exlengine.cube engine "B")) (key [ vq 2024 1 ])))
+
+let test_apply_updates_set_then_del () =
+  let quarter = Domain.Period (Some Calendar.Quarter) in
+  let source = "cube A(t: quarter);\nB := A + 1;\n" in
+  let data = Registry.create () in
+  Registry.add data Registry.Elementary
+    (cube_of "A" [ ("t", quarter) ] [ [ vq 2024 1; vf 1. ] ]);
+  let engine = make_engine source data in
+  ignore (ok (Engine.Exlengine.recompute engine));
+  (* set-then-del on an existing key nets to a pure removal; the same
+     pair on a fresh key cancels out entirely *)
+  let batch =
+    [
+      Engine.Update.set ~cube:"A" ~key:[ vq 2024 1 ] (vf 5.);
+      Engine.Update.remove ~cube:"A" ~key:[ vq 2024 1 ];
+      Engine.Update.set ~cube:"A" ~key:[ vq 2024 2 ] (vf 7.);
+      Engine.Update.remove ~cube:"A" ~key:[ vq 2024 2 ];
+    ]
+  in
+  let r = ok (Engine.Exlengine.apply_updates engine batch) in
+  Alcotest.(check int) "one removal is the whole net delta" 1
+    r.Engine.Exlengine.facts_changed;
+  let b = Option.get (Engine.Exlengine.cube engine "B") in
+  Alcotest.(check bool) "derived key retracted" true
+    (Cube.find b (key [ vq 2024 1 ]) = None);
+  Alcotest.(check int) "phantom key never materialized" 0 (Cube.cardinality b);
+  check_derived_agree "set then del" engine (scratch_engine source data [ batch ])
+
 let test_apply_updates_deletion_empties_stratum () =
   let quarter = Domain.Period (Some Calendar.Quarter) in
   let source =
@@ -507,9 +567,7 @@ let test_apply_updates_validation_atomic () =
    to a from-scratch recompute_all over the final data. *)
 
 let qcheck_count =
-  match Sys.getenv_opt "EXL_INCR_QCHECK_COUNT" with
-  | Some s -> (try int_of_string s with _ -> 30)
-  | None -> 30
+  Helpers.qcheck_count ~var:"EXL_INCR_QCHECK_COUNT" ~default:30
 
 let arb_seeds =
   QCheck.pair Gen.arb_seed
@@ -589,6 +647,8 @@ let suite =
     ("facade: no-op batch propagates nothing", `Quick, test_apply_updates_noop_batch);
     ("facade: update to an unused cube", `Quick, test_apply_updates_unused_cube);
     ("facade: repeated key compacts to last write", `Quick, test_apply_updates_repeated_key);
+    ("facade: revert within batch is a no-op", `Quick, test_apply_updates_revert_within_batch);
+    ("facade: set then del nets to removal", `Quick, test_apply_updates_set_then_del);
     ("facade: deletion empties a stratum", `Quick, test_apply_updates_deletion_empties_stratum);
     ("facade: history versions only affected cubes", `Quick, test_apply_updates_history_versions);
     ("facade: cache invalidation on load", `Quick, test_apply_updates_cache_invalidation);

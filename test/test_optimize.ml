@@ -412,9 +412,7 @@ let test_diagnostics_docs_drift () =
 (* --- the property: chase(optimize m) == chase m ----------------------- *)
 
 let qcheck_count =
-  match Option.bind (Sys.getenv_opt "EXL_OPT_QCHECK_COUNT") int_of_string_opt with
-  | Some n when n > 0 -> n
-  | _ -> 30
+  Helpers.qcheck_count ~var:"EXL_OPT_QCHECK_COUNT" ~default:30
 
 let prop_optimize_preserves_chase =
   QCheck.Test.make ~count:qcheck_count
