@@ -388,3 +388,94 @@ let run_opt base_path =
         exit 1
       end
       else print_endline "\nno regressions."
+
+(* --- the serving guard (`bench --guard-serve`) ---
+
+   Re-runs the exlserve closed-loop load scenarios against
+   BENCH_PR9.json.  Wall-clock throughput on a shared CI runner is
+   noisy, so the guard avoids comparing clocks to clocks; a scenario
+   regresses only when
+
+   - any request errored (5xx, transport failure — deterministic:
+     the daemon must answer everything it admits), or
+   - throughput fell below an absolute floor set far under any
+     observed machine (a loopback in-process daemon that cannot
+     answer [serve_throughput_floor] closed-loop requests per second
+     is broken, not slow), or
+   - the mixed scenario stopped coalescing: more server-side commits
+     than accepted update batches, or no commit at all despite
+     accepted updates. *)
+
+let serve_throughput_floor = 200.
+
+type serve_base = { serve_label : string; base_throughput : float }
+
+let serve_base_rows json =
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Obs.Json.member "label" entry) Obs.Json.string_value,
+          Option.bind (Obs.Json.member "throughput" entry) Obs.Json.number )
+      with
+      | Some serve_label, Some base_throughput ->
+          Some { serve_label; base_throughput }
+      | _ -> None)
+    (match Obs.Json.member "serve" json with
+    | Some rows -> Obs.Json.elements rows
+    | None -> [])
+
+let run_serve base_path =
+  match Obs.Json.parse (read_file base_path) with
+  | Error msg ->
+      Printf.eprintf "guard-serve: cannot parse %s: %s\n" base_path msg;
+      exit 1
+  | Ok json ->
+      let base = serve_base_rows json in
+      if base = [] then begin
+        Printf.eprintf "guard-serve: no serve rows in %s\n" base_path;
+        exit 1
+      end;
+      Printf.printf
+        "serving regression guard vs %s (throughput floor %.0f req/s)\n\n"
+        base_path serve_throughput_floor;
+      let current = Serve_load.rows () in
+      let failures = ref 0 in
+      let check row =
+        match
+          List.find_opt
+            (fun (c : Serve_load.row) -> c.Serve_load.label = row.serve_label)
+            current
+        with
+        | None ->
+            incr failures;
+            Printf.printf "  FAIL %-30s scenario no longer measured\n"
+              row.serve_label
+        | Some c ->
+            let errors_ok = c.Serve_load.errors = 0 in
+            let floor_ok = c.Serve_load.throughput >= serve_throughput_floor in
+            let coalesce_ok =
+              c.Serve_load.updates = 0
+              || (c.Serve_load.commits > 0
+                 && c.Serve_load.commits <= c.Serve_load.updates)
+            in
+            if not (errors_ok && floor_ok && coalesce_ok) then incr failures;
+            Printf.printf
+              "  %s %-30s %.0f req/s (baseline %.0f); %d error(s)%s%s%s\n"
+              (if errors_ok && floor_ok && coalesce_ok then "ok  " else "FAIL")
+              row.serve_label c.Serve_load.throughput row.base_throughput
+              c.Serve_load.errors
+              (if errors_ok then "" else " (must be 0)")
+              (if floor_ok then ""
+               else Printf.sprintf " (below the %.0f req/s floor)"
+                      serve_throughput_floor)
+              (if coalesce_ok then ""
+               else
+                 Printf.sprintf " (coalescing broken: %d commits for %d updates)"
+                   c.Serve_load.commits c.Serve_load.updates)
+      in
+      List.iter check base;
+      if !failures > 0 then begin
+        Printf.printf "\n%d scenario(s) regressed.\n" !failures;
+        exit 1
+      end
+      else print_endline "\nno regressions."

@@ -278,6 +278,37 @@ let run_json_col path =
   Printf.printf "wrote %s\n" path;
   Experiments.print_col_rows rows
 
+(* --- serving baseline (BENCH_PR9.json) --- *)
+
+let run_json_serve path =
+  let rows = Serve_load.rows () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"pr\": 9,\n  \"serve\": [\n";
+  List.iteri
+    (fun i (r : Serve_load.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\",\n\
+           \     \"requests\": %d, \"errors\": %d, \"rejected\": %d,\n\
+           \     \"seconds\": %s, \"throughput\": %s,\n\
+           \     \"p50_ms\": %s, \"p99_ms\": %s,\n\
+           \     \"updates\": %d, \"commits\": %d}%s\n"
+           (json_escape r.Serve_load.label)
+           r.Serve_load.requests r.Serve_load.errors r.Serve_load.rejected
+           (json_float r.Serve_load.seconds)
+           (json_float r.Serve_load.throughput)
+           (json_float r.Serve_load.p50_ms)
+           (json_float r.Serve_load.p99_ms)
+           r.Serve_load.updates r.Serve_load.commits
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Serve_load.print_rows rows
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -318,6 +349,12 @@ let () =
   | _ :: "--guard-opt" :: rest ->
       Baseline.run_opt
         (match rest with path :: _ -> path | [] -> "BENCH_PR6.json")
+  | _ :: "--json-serve" :: rest ->
+      run_json_serve
+        (match rest with path :: _ -> path | [] -> "BENCH_PR9.json")
+  | _ :: "--guard-serve" :: rest ->
+      Baseline.run_serve
+        (match rest with path :: _ -> path | [] -> "BENCH_PR9.json")
   | _ ->
       print_endline "EXLEngine benchmark harness (see EXPERIMENTS.md)";
       Experiments.all ();

@@ -192,6 +192,14 @@ let validate_update t (u : Update.t) =
                      (Domain.to_string schema.Schema.measure_domain)
                      u.Update.cube)
 
+let validate_updates t updates =
+  let rec loop = function
+    | [] -> Ok ()
+    | u :: rest -> (
+        match validate_update t u with Error _ as e -> e | Ok () -> loop rest)
+  in
+  loop updates
+
 (* Apply the batch to the store's elementary cubes in order, then
    compact it to net per-key changes: a key revised twice contributes
    one removed/added pair, a revision back to the original value
@@ -303,14 +311,7 @@ let apply_updates ?as_of t (updates : Update.t list) =
     Obs.with_span "incr.apply_updates"
       ~attrs:[ ("updates", string_of_int (List.length updates)) ]
     @@ fun () ->
-    let rec validate = function
-      | [] -> Ok ()
-      | u :: rest -> (
-          match validate_update t u with
-          | Error _ as e -> e
-          | Ok () -> validate rest)
-    in
-    match validate updates with
+    match validate_updates t updates with
     | Error _ as e -> e
     | Ok () -> (
         let deltas = apply_to_store t updates in

@@ -85,6 +85,13 @@ val warm : t -> (unit, string) result
     propagates incrementally instead of rebuilding.  A no-op when the
     cache is already warm. *)
 
+val validate_updates : t -> Update.t list -> (unit, string) result
+(** The validation pass of {!apply_updates} alone (unknown cube,
+    derived cube, key or measure out of domain), without touching the
+    store.  The server runs it per client batch before coalescing, so
+    one malformed batch gets its 400 instead of poisoning the merged
+    commit.  Read-only: safe to call concurrently with reads. *)
+
 val apply_updates :
   ?as_of:Calendar.Date.t -> t -> Update.t list -> (update_report, string) result
 (** Apply a batch of elementary-cube updates and incrementally

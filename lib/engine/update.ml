@@ -6,6 +6,41 @@ type t = { cube : string; key : Value.t list; action : action }
 let set ~cube ~key v = { cube; key; action = Set v }
 let remove ~cube ~key = { cube; key; action = Remove }
 
+(* Last-wins compaction per (cube, key), stable in first-appearance
+   order: applying the compacted batch leaves the store in the same
+   state as applying the original in sequence. *)
+let compact updates =
+  (* Keys are matched with Value-aware tuple equality (Int 2 = Float 2.,
+     like the store itself), not generic structural equality. *)
+  let by_cube : (string, (int * t) Tuple.Table.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let next = ref 0 in
+  List.iter
+    (fun u ->
+      let keys =
+        match Hashtbl.find_opt by_cube u.cube with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Tuple.Table.create 16 in
+            Hashtbl.replace by_cube u.cube tbl;
+            tbl
+      in
+      let key = Tuple.of_list u.key in
+      match Tuple.Table.find_opt keys key with
+      | Some (rank, _) -> Tuple.Table.replace keys key (rank, u)
+      | None ->
+          Tuple.Table.replace keys key (!next, u);
+          incr next)
+    updates;
+  Hashtbl.fold
+    (fun _ tbl acc -> Tuple.Table.fold (fun _ ranked acc -> ranked :: acc) tbl acc)
+    by_cube []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.map snd
+
+let concat batches = compact (List.concat batches)
+
 let to_string u =
   let key = String.concat " " (List.map Value.to_string u.key) in
   match u.action with

@@ -1,0 +1,242 @@
+type limits = {
+  max_request_line : int;
+  max_header_count : int;
+  max_header_bytes : int;
+  max_body : int;
+}
+
+let default_limits =
+  {
+    max_request_line = 4096;
+    max_header_count = 64;
+    max_header_bytes = 8192;
+    max_body = 4 * 1024 * 1024;
+  }
+
+type request = {
+  meth : string;
+  target : string;
+  path : string list;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error = { status : int; reason : string }
+
+type parse_result =
+  | Complete of request * int
+  | Incomplete
+  | Failed of error
+
+let fail status reason = Failed { status; reason }
+
+(* Index just past the next line: [Some (line, next)] where [line] has
+   the terminator (and a trailing CR) stripped.  [None] = no newline in
+   the buffer yet. *)
+let next_line buf off =
+  match String.index_from_opt buf off '\n' with
+  | None -> None
+  | Some nl ->
+      let stop = if nl > off && buf.[nl - 1] = '\r' then nl - 1 else nl in
+      Some (String.sub buf off (stop - off), nl + 1)
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Percent-decoding that never fails: an invalid escape stays literal.
+   [plus_space] additionally maps '+' to ' ' (query components). *)
+let pct_decode ?(plus_space = false) s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+        match (hex_digit s.[!i + 1], hex_digit s.[!i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | '+' when plus_space -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let split_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun pair ->
+         if pair = "" then None
+         else
+           match String.index_opt pair '=' with
+           | None -> Some (pct_decode ~plus_space:true pair, "")
+           | Some i ->
+               Some
+                 ( pct_decode ~plus_space:true (String.sub pair 0 i),
+                   pct_decode ~plus_space:true
+                     (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+
+let split_path target =
+  let raw, query =
+    match String.index_opt target '?' with
+    | None -> (target, [])
+    | Some i ->
+        ( String.sub target 0 i,
+          split_query (String.sub target (i + 1) (String.length target - i - 1))
+        )
+  in
+  let segments =
+    String.split_on_char '/' raw
+    |> List.filter (fun s -> s <> "")
+    |> List.map pct_decode
+  in
+  (segments, query)
+
+let is_method s =
+  s <> "" && String.for_all (fun c -> c >= 'A' && c <= 'Z') s
+
+let trim = String.trim
+
+let parse_request_line line =
+  match List.filter (fun s -> s <> "") (String.split_on_char ' ' line) with
+  | [ meth; target; version ] ->
+      if not (is_method meth) then Error "malformed method"
+      else if String.length target = 0 || target.[0] <> '/' then
+        Error "target must start with /"
+      else if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        Error "unsupported protocol version"
+      else Ok (meth, target, version)
+  | _ -> Error "malformed request line"
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error "header without colon"
+  | Some i ->
+      let name = trim (String.sub line 0 i) in
+      let value = trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      if name = "" || String.exists (fun c -> c = ' ' || c = '\t') name then
+        Error "malformed header name"
+      else Ok (String.lowercase_ascii name, value)
+
+let header r name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name r.headers
+
+let query_param r name = List.assoc_opt name r.query
+
+let wants_close r =
+  match header r "connection" with
+  | Some v -> String.lowercase_ascii (trim v) = "close"
+  | None -> r.version = "HTTP/1.0"
+
+let parse ?(limits = default_limits) buf off =
+  let len = String.length buf in
+  if off >= len then Incomplete
+  else
+    match next_line buf off with
+    | None ->
+        if len - off > limits.max_request_line then
+          fail 400 "request line too long"
+        else Incomplete
+    | Some (line, after_line) ->
+        if String.length line > limits.max_request_line then
+          fail 400 "request line too long"
+        else (
+          match parse_request_line line with
+          | Error reason -> fail 400 reason
+          | Ok (meth, target, version) ->
+              (* Header block: one line at a time until the empty line. *)
+              let rec headers acc count pos =
+                match next_line buf pos with
+                | None ->
+                    if len - pos > limits.max_header_bytes then
+                      `Failed { status = 413; reason = "header too large" }
+                    else `Incomplete
+                | Some ("", after) -> `Done (List.rev acc, after)
+                | Some (line, after) ->
+                    if String.length line > limits.max_header_bytes then
+                      `Failed { status = 413; reason = "header too large" }
+                    else if count >= limits.max_header_count then
+                      `Failed { status = 413; reason = "too many headers" }
+                    else (
+                      match parse_header line with
+                      | Error reason -> `Failed { status = 400; reason }
+                      | Ok h -> headers (h :: acc) (count + 1) after)
+              in
+              (match headers [] 0 after_line with
+              | `Incomplete -> Incomplete
+              | `Failed e -> Failed e
+              | `Done (headers, body_start) ->
+                  let find name =
+                    List.assoc_opt name headers
+                  in
+                  if find "transfer-encoding" <> None then
+                    fail 501 "transfer-encoding not implemented"
+                  else
+                    let content_length =
+                      match find "content-length" with
+                      | None -> Ok 0
+                      | Some v -> (
+                          match int_of_string_opt (trim v) with
+                          | Some n when n >= 0 -> Ok n
+                          | _ -> Error "malformed content-length")
+                    in
+                    (match content_length with
+                    | Error reason -> fail 400 reason
+                    | Ok n when n > limits.max_body ->
+                        fail 413 "body too large"
+                    | Ok n ->
+                        if len - body_start < n then Incomplete
+                        else
+                          let body = String.sub buf body_start n in
+                          let path, query = split_path target in
+                          Complete
+                            ( {
+                                meth;
+                                target;
+                                path;
+                                query;
+                                version;
+                                headers;
+                                body;
+                              },
+                              body_start + n - off ))))
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Status"
+
+let response ?(headers = []) ?(content_type = "application/json") ~status body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf

@@ -1,0 +1,121 @@
+open Matrix
+
+(** exlserve: the concurrent query/update daemon over the incremental
+    engine.
+
+    Threading model (docs/SERVING.md):
+
+    - {e One writer.}  A dedicated thread owns the engine.  POSTed
+      update batches are queued; the writer drains the queue after a
+      short coalescing window, merges everything into one compacted
+      batch ({!Engine.Update.concat}) and commits it with a single
+      {!Engine.Exlengine.apply_updates} call, then publishes a fresh
+      {!Snapshot.t} with one atomic store.
+    - {e Lock-free reads.}  Every GET resolves against the snapshot
+      published by the last commit — readers never take a lock and
+      never observe a half-applied batch (snapshot isolation); a
+      client whose POST returned 200 sees its write on the very next
+      GET (read-your-writes: the reply is sent only after publish).
+    - {e Admission control.}  The queue is bounded; when it is full
+      the request is rejected immediately with 429 and a
+      [Retry-After] hint instead of queueing without bound.
+    - {e Graceful degradation.}  Cubes quarantined by the
+      fault/retry/fallback machinery answer 503 with a structured
+      diagnostic while healthy cubes keep serving; point-in-time
+      reads of a quarantined cube still answer from surviving
+      history versions.
+    - {e Clean drain.}  {!shutdown} stops accepting, lets in-flight
+      requests and queued commits finish, then returns. *)
+
+type config = {
+  max_queue : int;  (** queued update jobs before 429 (default 64) *)
+  coalesce_window : float;
+      (** seconds the writer waits after the first queued job to
+          merge followers into the same commit (default 2ms) *)
+  request_timeout : float;
+      (** socket read/write budget per request, seconds (default 10) *)
+  commit_timeout : float;
+      (** max seconds a POST waits for its commit before answering
+          504 (the commit itself still completes; default 30) *)
+  limits : Http.limits;  (** request parser bounds (400/413) *)
+  log : (string -> unit) option;
+      (** JSONL request-trace sink: one JSON object per request *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?report:Engine.Dispatcher.report ->
+  Engine.Exlengine.t ->
+  t
+(** Wrap a booted engine (programs registered, data loaded,
+    recomputed, ideally {!Engine.Exlengine.warm}ed).  Publishes the
+    boot snapshot — [report] (from the boot recompute) seeds the
+    quarantine statuses — and starts the writer thread.  The engine
+    must not be touched by the caller afterwards. *)
+
+val snapshot : t -> Snapshot.t
+(** The currently published snapshot (what readers see). *)
+
+val queue_depth : t -> int
+
+val draining : t -> bool
+
+(** {2 Request handling} (transport-independent, used by the tests) *)
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  content_type : string;
+  body : string;
+}
+
+val handle_request : t -> Http.request -> reply
+(** Route and answer one parsed request.  POST [/v1/update] blocks
+    until the write commits (or times out); GETs never block on the
+    writer. *)
+
+(** {2 Sockets} *)
+
+val listen_inet :
+  ?backlog:int -> host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bound + listening TCP socket; returns the actual port (pass
+    [port:0] for an ephemeral one). *)
+
+val listen_unix : ?backlog:int -> path:string -> unit -> Unix.file_descr
+(** Bound + listening Unix-domain socket (unlinks [path] first). *)
+
+val serve : t -> Unix.file_descr -> unit
+(** Accept loop: one thread per connection with keep-alive and
+    pipelining, honoring [config.request_timeout].  Blocks until
+    {!shutdown}; closes the listening socket on exit. *)
+
+val serve_background : t -> Unix.file_descr -> Thread.t
+
+val shutdown : t -> unit
+(** Drain: stop accepting, reject new updates with 503, finish queued
+    commits and in-flight requests, stop the writer.  Idempotent;
+    safe to call from a signal handler's deferred path. *)
+
+val request_shutdown : t -> unit
+(** Flip the stop flag and wake the writer, nothing else — the tiny,
+    non-blocking half of {!shutdown} a SIGTERM handler can run; the
+    {!serve} loop notices within its poll interval and performs the
+    actual drain. *)
+
+(** {2 Test hooks} *)
+
+val pause_writer : t -> unit
+(** Hold the writer before its next commit — queued updates
+    accumulate (this is how the tests force 429 and observe snapshot
+    isolation deterministically). *)
+
+val resume_writer : t -> unit
+
+val cube_json : ?limit:int -> ?filter:(string * Value.t) list ->
+  seq:int -> name:string -> Snapshot.entry -> Cube.t -> string
+(** The slice rendering used by [GET /v1/cube/:name] — exposed for
+    the golden tests. *)

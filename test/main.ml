@@ -37,5 +37,6 @@ let () =
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
       ("edges", Test_edges.suite);
     ]

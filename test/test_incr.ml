@@ -90,6 +90,104 @@ let test_update_parse () =
   Alcotest.(check int) "comment-only batch is empty" 0
     (List.length (ok (Engine.Update.of_string ~schema_of "# nothing\n\n  \n")))
 
+(* --- batch compaction (the server coalescer's merge step) --- *)
+
+let update_line = Alcotest.testable Fmt.string String.equal
+let lines us = List.map Engine.Update.to_string us
+
+let test_compact_last_wins () =
+  let u v = Engine.Update.set ~cube:"A" ~key:[ vq 2024 1 ] (vf v) in
+  Alcotest.(check (list update_line))
+    "three writes net to the last one"
+    [ "set A 2024Q1 3" ]
+    (lines (Engine.Update.compact [ u 1.; u 2.; u 3. ]))
+
+let test_compact_set_del_cancel () =
+  let k = [ vq 2024 1 ] in
+  let set v = Engine.Update.set ~cube:"A" ~key:k (vf v) in
+  let del = Engine.Update.remove ~cube:"A" ~key:k in
+  Alcotest.(check (list update_line))
+    "set then del nets to the del" [ "del A 2024Q1" ]
+    (lines (Engine.Update.compact [ set 1.; del ]));
+  Alcotest.(check (list update_line))
+    "del then set nets to the set" [ "set A 2024Q1 2" ]
+    (lines (Engine.Update.compact [ del; set 2. ]))
+
+let test_compact_stable_idempotent () =
+  let u cube q v = Engine.Update.set ~cube ~key:[ vq 2024 q ] (vf v) in
+  let batch = [ u "B" 2 1.; u "A" 1 1.; u "B" 2 9.; u "A" 3 5.; u "A" 1 7. ] in
+  let once = Engine.Update.compact batch in
+  (* first-appearance order of the surviving keys, last value each *)
+  Alcotest.(check (list update_line))
+    "stable order, last value"
+    [ "set B 2024Q2 9"; "set A 2024Q1 7"; "set A 2024Q3 5" ]
+    (lines once);
+  Alcotest.(check (list update_line))
+    "idempotent" (lines once)
+    (lines (Engine.Update.compact once))
+
+let test_compact_value_aware_keys () =
+  (* Int 2 and Float 2. address the same store key; compaction must
+     identify them or interleaved writes replay in the wrong order. *)
+  let a = Engine.Update.set ~cube:"A" ~key:[ vi 2 ] (vf 1.) in
+  let b = Engine.Update.set ~cube:"A" ~key:[ vf 2. ] (vf 9.) in
+  match Engine.Update.compact [ a; b ] with
+  | [ { Engine.Update.action = Set v; _ } ] ->
+      Alcotest.check value "last write survives" (vf 9.) v
+  | us -> Alcotest.failf "expected one update, got %d" (List.length us)
+
+let test_concat_across_batches () =
+  let k = [ vq 2024 1 ] in
+  let set c v = Engine.Update.set ~cube:c ~key:k (vf v) in
+  let del c = Engine.Update.remove ~cube:c ~key:k in
+  (* opposing updates queued by different clients cancel across the
+     batch boundary; unrelated cubes keep their own last writes *)
+  Alcotest.(check (list update_line))
+    "merge of three queued batches"
+    [ "set A 2024Q1 4"; "set B 2024Q1 2" ]
+    (lines
+       (Engine.Update.concat
+          [ [ set "A" 1.; del "B" ]; [ set "B" 2.; del "A" ]; [ set "A" 4. ] ]));
+  Alcotest.(check (list update_line)) "concat of empties" []
+    (lines (Engine.Update.concat [ []; [] ]))
+
+(* Applying the concat of queued batches equals applying them one by
+   one — the equivalence the server's coalescer relies on. *)
+let test_concat_equals_sequential_apply () =
+  let mk () =
+    let engine = Engine.Exlengine.create () in
+    ok
+      (Engine.Exlengine.register_program engine ~name:"p"
+         "cube A(t: quarter);\nD := A + 1;\n");
+    ok
+      (Engine.Exlengine.load_elementary engine
+         (cube_of "A"
+            [ ("t", Domain.Period (Some Calendar.Quarter)) ]
+            [ [ vq 2024 1; vf 1. ]; [ vq 2024 2; vf 2. ] ]));
+    ignore (ok (Engine.Exlengine.recompute_all engine));
+    ok (Engine.Exlengine.warm engine);
+    engine
+  in
+  let set q v = Engine.Update.set ~cube:"A" ~key:[ vq 2024 q ] (vf v) in
+  let del q = Engine.Update.remove ~cube:"A" ~key:[ vq 2024 q ] in
+  let batches =
+    [ [ set 1 10.; set 3 30. ]; [ del 3; set 2 20. ]; [ set 3 33.; del 1 ] ]
+  in
+  let sequential = mk () in
+  List.iter
+    (fun b -> ignore (ok (Engine.Exlengine.apply_updates sequential b)))
+    batches;
+  let coalesced = mk () in
+  ignore
+    (ok (Engine.Exlengine.apply_updates coalesced (Engine.Update.concat batches)));
+  List.iter
+    (fun name ->
+      Alcotest.check cube_eq
+        (name ^ " agrees")
+        (Option.get (Engine.Exlengine.cube sequential name))
+        (Option.get (Engine.Exlengine.cube coalesced name)))
+    [ "A"; "D" ]
+
 (* --- the delta-seeded chase --- *)
 
 let mapping_of source ~cubes =
@@ -637,6 +735,12 @@ let suite =
     ("determination: changed derived reported distinctly", `Quick, test_dirty_set_derived);
     ("determination: mixed change set", `Quick, test_dirty_set_mixed);
     ("update: text format round trip and errors", `Quick, test_update_parse);
+    ("update: compact keeps the last write per key", `Quick, test_compact_last_wins);
+    ("update: compact cancels set against del", `Quick, test_compact_set_del_cancel);
+    ("update: compact is stable and idempotent", `Quick, test_compact_stable_idempotent);
+    ("update: compact identifies value-equal keys", `Quick, test_compact_value_aware_keys);
+    ("update: concat merges queued batches", `Quick, test_concat_across_batches);
+    ("update: concat equals sequential apply", `Quick, test_concat_equals_sequential_apply);
     ("chase: incremental insert-only fast path", `Quick, test_chase_incremental_insert_only);
     ("chase: incremental deletion rederives", `Quick, test_chase_incremental_removal_rederives);
     ("chase: incremental skips unreached strata", `Quick, test_chase_incremental_skips_unreached_strata);
