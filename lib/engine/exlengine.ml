@@ -17,6 +17,12 @@ type config = {
   columnar : bool;
       (* chase through the vectorized column-batch kernels; on by
          default, opt out for A/B runs against the row path *)
+  shards : int;
+      (* partition full chases across this many shards, run on the
+         domain pool with work stealing; 1 = unsharded *)
+  shard_key : string option;
+      (* dimension to partition on; None = chosen per mapping by the
+         co-partitioning check *)
 }
 
 let default_config =
@@ -30,6 +36,8 @@ let default_config =
     faults = None;
     optimize = true;
     columnar = true;
+    shards = 1;
+    shard_key = None;
   }
 
 (* The solution cache of the incremental path: the chase instance a
@@ -58,6 +66,7 @@ type t = {
 }
 
 let create ?(config = default_config) () =
+  if config.shards > 1 then Shard.Driver.install ();
   {
     config;
     determination = Determination.create ();
@@ -65,7 +74,9 @@ let create ?(config = default_config) () =
     store = Registry.create ();
     history = Historicity.create ();
     pool =
-      (if config.parallel_dispatch then
+      (* sharded chases also need the pool: shard tasks run on it with
+         work stealing *)
+      (if config.parallel_dispatch || config.shards > 1 then
          Some
            (match config.pool_size with
            | Some size -> Pool.create ~size ()
@@ -274,7 +285,17 @@ let rebuild_solution t covered =
         else generated
       in
       let source = Exchange.Instance.of_registry t.store in
-      match Exchange.Chase.run ~columnar:t.config.columnar mapping source with
+      let executor =
+        (* shard tasks are coarse and uneven: steal-half rebalancing
+           beats the plain shared-queue executor there *)
+        match t.pool with
+        | Some pool when t.config.shards > 1 -> Pool.stealing_executor pool
+        | _ -> Exchange.Chase.sequential_executor
+      in
+      match
+        Exchange.Chase.run ~columnar:t.config.columnar ~executor
+          ~shards:t.config.shards ?shard_key:t.config.shard_key mapping source
+      with
       | Error _ as e -> e
       | Ok (instance, stats) ->
           let sol =

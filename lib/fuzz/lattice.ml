@@ -7,9 +7,20 @@ type axis =
   | Fusion
   | Incremental
   | Faults
+  | Shards
 
 let all =
-  [ Roundtrip; Lint; Backends; Columnar; Optimize; Fusion; Incremental; Faults ]
+  [
+    Roundtrip;
+    Lint;
+    Backends;
+    Columnar;
+    Optimize;
+    Fusion;
+    Incremental;
+    Faults;
+    Shards;
+  ]
 
 let name = function
   | Roundtrip -> "roundtrip"
@@ -20,6 +31,7 @@ let name = function
   | Fusion -> "fusion"
   | Incremental -> "incremental"
   | Faults -> "faults"
+  | Shards -> "shards"
 
 let axis_of_name s = List.find_opt (fun a -> name a = s) all
 

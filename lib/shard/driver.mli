@@ -1,0 +1,30 @@
+(** The sharded chase driver (see [docs/SHARDING.md]).
+
+    Partition the source on the plan's shard key, chase the shard-local
+    tgds on every shard independently (one executor task per shard),
+    union the shard solutions deterministically, then run the residual
+    tgds and the deferred functionality egds stratum by stratum.  The
+    solution equals the unsharded chase's (property-tested); the
+    [stats] are aggregates over the shards plus the residual pass. *)
+
+open Mappings
+open Exchange
+
+val run_sharded :
+  check_egds:bool ->
+  executor:((unit -> unit) list -> unit) ->
+  columnar:bool ->
+  request:Chase.shard_request ->
+  Mapping.t ->
+  Instance.t ->
+  (Instance.t * Chase.stats, string) result
+(** The {!Chase.shard_runner} implementation.  Falls back to the plain
+    chase when the plan leaves no tgd shard-local.  [executor] receives
+    one task per shard (and is also used for the residual pass's
+    round-one parallelism). *)
+
+val install : unit -> unit
+(** Point {!Chase.shard_runner} at {!run_sharded}.  Runs at module
+    initialization; call it (idempotently) to force the linker to keep
+    this library, e.g. from binaries that only reach sharding through
+    [Chase.run ~shards]. *)

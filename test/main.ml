@@ -26,6 +26,7 @@ let () =
       ("outer", Test_outer.suite);
       ("exchange", Test_exchange.suite);
       ("columnar", Test_columnar.suite);
+      ("shard", Test_shard.suite);
       ("delta", Test_delta.suite);
       ("relational", Test_relational.suite);
       ("vector", Test_vector.suite);
